@@ -1,0 +1,302 @@
+// Package champ implements a persistent (immutable) hash-array-mapped
+// prefix-tree map with structural sharing, after the CHAMP design of
+// Steindorfer & Vinju that CCF's key-value store uses (paper §6.6).
+//
+// A Map value is immutable: Set and Delete return new maps sharing almost
+// all structure with the original. This gives the IA-CCF key-value store
+// O(1) snapshots, transaction-granularity rollback, and cheap batch undo
+// (Lemma 1) — a snapshot is just a pointer.
+//
+// Access cost grows logarithmically (base 32) with the number of entries,
+// which is the effect Fig. 7 measures when the SmallBank account count
+// grows.
+package champ
+
+import (
+	"hash/maphash"
+	"math/bits"
+)
+
+const (
+	branchBits = 5
+	branchSize = 1 << branchBits // 32
+	chunkMask  = branchSize - 1
+	// maxLevel is the deepest level with hash bits left; below it keys with
+	// fully colliding hashes go into collision nodes.
+	maxLevel = 64 / branchBits
+)
+
+// seed makes hash placement stable within a process. Determinism across
+// processes is not required: checkpoint serialization sorts keys.
+var seed = maphash.MakeSeed()
+
+func hashKey(key string) uint64 {
+	return maphash.String(seed, key)
+}
+
+// Map is an immutable hash map from string keys to byte-slice values.
+// Construct with Empty; the zero value is not usable.
+type Map struct {
+	root *node
+	size int
+}
+
+var empty = &Map{root: &node{}}
+
+// Empty returns the empty map.
+func Empty() *Map { return empty }
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return m.size }
+
+// Get returns the value stored under key.
+func (m *Map) Get(key string) ([]byte, bool) {
+	return m.root.get(key, hashKey(key), 0)
+}
+
+// Has reports whether key is present.
+func (m *Map) Has(key string) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Set returns a new map with key bound to val. The receiver is unchanged.
+// The value slice is stored as-is; callers must not mutate it afterwards.
+func (m *Map) Set(key string, val []byte) *Map {
+	root, added := m.root.set(key, val, hashKey(key), 0)
+	size := m.size
+	if added {
+		size++
+	}
+	return &Map{root: root, size: size}
+}
+
+// Delete returns a new map without key. The receiver is unchanged.
+func (m *Map) Delete(key string) *Map {
+	root, removed := m.root.delete(key, hashKey(key), 0)
+	if !removed {
+		return m
+	}
+	return &Map{root: root, size: m.size - 1}
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order is
+// trie order (hash order) and is stable for a given map value but not
+// canonical across construction histories; callers needing determinism
+// across replicas must sort (see kv.Store checkpoints).
+func (m *Map) Range(fn func(key string, val []byte) bool) {
+	m.root.rang(fn)
+}
+
+// node is a CHAMP trie node: dataMap marks chunks holding inline entries,
+// nodeMap marks chunks holding children. A node with coll != nil is a
+// collision bucket at max depth and uses only the slices.
+type node struct {
+	dataMap  uint32
+	nodeMap  uint32
+	keys     []string
+	vals     [][]byte
+	children []*node
+	coll     bool
+}
+
+func chunk(h uint64, level int) uint32 {
+	return uint32(h>>(uint(level)*branchBits)) & chunkMask
+}
+
+// dataIndex returns the compressed slot of a data entry for bit.
+func (n *node) dataIndex(bit uint32) int {
+	return bits.OnesCount32(n.dataMap & (bit - 1))
+}
+
+// nodeIndex returns the compressed slot of a child for bit.
+func (n *node) nodeIndex(bit uint32) int {
+	return bits.OnesCount32(n.nodeMap & (bit - 1))
+}
+
+func (n *node) get(key string, h uint64, level int) ([]byte, bool) {
+	if n.coll {
+		for i, k := range n.keys {
+			if k == key {
+				return n.vals[i], true
+			}
+		}
+		return nil, false
+	}
+	bit := uint32(1) << chunk(h, level)
+	if n.dataMap&bit != 0 {
+		i := n.dataIndex(bit)
+		if n.keys[i] == key {
+			return n.vals[i], true
+		}
+		return nil, false
+	}
+	if n.nodeMap&bit != 0 {
+		return n.children[n.nodeIndex(bit)].get(key, h, level+1)
+	}
+	return nil, false
+}
+
+// set returns the updated node and whether a new key was added.
+func (n *node) set(key string, val []byte, h uint64, level int) (*node, bool) {
+	if n.coll {
+		for i, k := range n.keys {
+			if k == key {
+				c := n.cloneShallow()
+				c.vals[i] = val
+				return c, false
+			}
+		}
+		c := n.cloneShallow()
+		c.keys = append(c.keys, key)
+		c.vals = append(c.vals, val)
+		return c, true
+	}
+	bit := uint32(1) << chunk(h, level)
+	switch {
+	case n.dataMap&bit != 0:
+		i := n.dataIndex(bit)
+		if n.keys[i] == key {
+			c := n.cloneShallow()
+			c.vals[i] = val
+			return c, false
+		}
+		// Two distinct keys share this chunk: push both one level down.
+		child := merge(n.keys[i], n.vals[i], hashKey(n.keys[i]), key, val, h, level+1)
+		c := n.cloneShallow()
+		c.removeData(bit)
+		c.insertChild(bit, child)
+		return c, true
+	case n.nodeMap&bit != 0:
+		i := n.nodeIndex(bit)
+		child, added := n.children[i].set(key, val, h, level+1)
+		c := n.cloneShallow()
+		c.children[i] = child
+		return c, added
+	default:
+		c := n.cloneShallow()
+		c.insertData(bit, key, val)
+		return c, true
+	}
+}
+
+// merge builds the subtree holding two keys that collide at a chunk.
+func merge(k1 string, v1 []byte, h1 uint64, k2 string, v2 []byte, h2 uint64, level int) *node {
+	if level >= maxLevel {
+		return &node{coll: true, keys: []string{k1, k2}, vals: [][]byte{v1, v2}}
+	}
+	c1, c2 := chunk(h1, level), chunk(h2, level)
+	if c1 == c2 {
+		child := merge(k1, v1, h1, k2, v2, h2, level+1)
+		return &node{nodeMap: 1 << c1, children: []*node{child}}
+	}
+	n := &node{}
+	if c1 < c2 {
+		n.dataMap = 1<<c1 | 1<<c2
+		n.keys = []string{k1, k2}
+		n.vals = [][]byte{v1, v2}
+	} else {
+		n.dataMap = 1<<c1 | 1<<c2
+		n.keys = []string{k2, k1}
+		n.vals = [][]byte{v2, v1}
+	}
+	return n
+}
+
+// delete returns the updated node and whether the key was present.
+func (n *node) delete(key string, h uint64, level int) (*node, bool) {
+	if n.coll {
+		for i, k := range n.keys {
+			if k == key {
+				c := n.cloneShallow()
+				c.keys = append(append([]string{}, n.keys[:i]...), n.keys[i+1:]...)
+				c.vals = append(append([][]byte{}, n.vals[:i]...), n.vals[i+1:]...)
+				return c, true
+			}
+		}
+		return n, false
+	}
+	bit := uint32(1) << chunk(h, level)
+	if n.dataMap&bit != 0 {
+		i := n.dataIndex(bit)
+		if n.keys[i] != key {
+			return n, false
+		}
+		c := n.cloneShallow()
+		c.removeData(bit)
+		return c, true
+	}
+	if n.nodeMap&bit != 0 {
+		i := n.nodeIndex(bit)
+		child, removed := n.children[i].delete(key, h, level+1)
+		if !removed {
+			return n, false
+		}
+		c := n.cloneShallow()
+		if child.isEmpty() {
+			c.removeChild(bit)
+		} else {
+			c.children[i] = child
+		}
+		return c, true
+	}
+	return n, false
+}
+
+func (n *node) isEmpty() bool {
+	if n.coll {
+		return len(n.keys) == 0
+	}
+	return n.dataMap == 0 && n.nodeMap == 0
+}
+
+func (n *node) rang(fn func(string, []byte) bool) bool {
+	for i, k := range n.keys {
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	for _, c := range n.children {
+		if !c.rang(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *node) cloneShallow() *node {
+	return &node{
+		dataMap:  n.dataMap,
+		nodeMap:  n.nodeMap,
+		keys:     append([]string(nil), n.keys...),
+		vals:     append([][]byte(nil), n.vals...),
+		children: append([]*node(nil), n.children...),
+		coll:     n.coll,
+	}
+}
+
+func (n *node) insertData(bit uint32, key string, val []byte) {
+	i := bits.OnesCount32(n.dataMap & (bit - 1))
+	n.keys = append(n.keys[:i], append([]string{key}, n.keys[i:]...)...)
+	n.vals = append(n.vals[:i], append([][]byte{val}, n.vals[i:]...)...)
+	n.dataMap |= bit
+}
+
+func (n *node) removeData(bit uint32) {
+	i := bits.OnesCount32(n.dataMap & (bit - 1))
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.dataMap &^= bit
+}
+
+func (n *node) insertChild(bit uint32, child *node) {
+	i := bits.OnesCount32(n.nodeMap & (bit - 1))
+	n.children = append(n.children[:i], append([]*node{child}, n.children[i:]...)...)
+	n.nodeMap |= bit
+}
+
+func (n *node) removeChild(bit uint32) {
+	i := bits.OnesCount32(n.nodeMap & (bit - 1))
+	n.children = append(n.children[:i], n.children[i+1:]...)
+	n.nodeMap &^= bit
+}

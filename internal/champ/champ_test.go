@@ -1,0 +1,277 @@
+package champ
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	m := Empty()
+	if m.Len() != 0 {
+		t.Fatal("empty map has entries")
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("empty map returned a value")
+	}
+	if m.Has("x") {
+		t.Fatal("empty map Has returned true")
+	}
+	if m.Delete("x") != m {
+		t.Fatal("deleting from empty map should return the same map")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	m := Empty()
+	for i := 0; i < 1000; i++ {
+		m = m.Set(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("len %d != 1000", m.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := m.Get(fmt.Sprintf("key-%d", i))
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%d: got %q ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := m.Get("key-1000"); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := Empty().Set("k", []byte("a"))
+	m2 := m.Set("k", []byte("b"))
+	if m.Len() != 1 || m2.Len() != 1 {
+		t.Fatal("overwrite changed length")
+	}
+	if v, _ := m.Get("k"); string(v) != "a" {
+		t.Fatal("original mutated by overwrite")
+	}
+	if v, _ := m2.Get("k"); string(v) != "b" {
+		t.Fatal("overwrite did not take")
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	base := Empty()
+	for i := 0; i < 100; i++ {
+		base = base.Set(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	snapshot := base
+	derived := base
+	for i := 0; i < 100; i++ {
+		derived = derived.Set(fmt.Sprintf("k%d", i), []byte{0xff})
+		derived = derived.Delete(fmt.Sprintf("k%d", (i+50)%100))
+	}
+	// The snapshot must be untouched.
+	if snapshot.Len() != 100 {
+		t.Fatal("snapshot length changed")
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := snapshot.Get(fmt.Sprintf("k%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("snapshot entry k%d changed: %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := Empty()
+	const n = 500
+	for i := 0; i < n; i++ {
+		m = m.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	for i := 0; i < n; i += 2 {
+		m = m.Delete(fmt.Sprintf("k%d", i))
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("len %d after deletes", m.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := m.Get(fmt.Sprintf("k%d", i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("k%d present=%v", i, ok)
+		}
+	}
+	// Deleting absent keys is a no-op returning the same map.
+	if m.Delete("k0") != m {
+		t.Fatal("delete of absent key did not return same map")
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := Empty()
+	want := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		m = m.Set(k, []byte(v))
+		want[k] = v
+	}
+	got := map[string]string{}
+	m.Range(func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d of %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("range %s: %q != %q", k, got[k], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(string, []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestRangeStableForSameValue(t *testing.T) {
+	m := Empty()
+	for i := 0; i < 200; i++ {
+		m = m.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	var a, b []string
+	m.Range(func(k string, _ []byte) bool { a = append(a, k); return true })
+	m.Range(func(k string, _ []byte) bool { b = append(b, k); return true })
+	if len(a) != len(b) {
+		t.Fatal("iteration lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("iteration order not stable")
+		}
+	}
+}
+
+// TestQuickModel drives the map against Go's builtin map with random ops.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Empty()
+		model := map[string]string{}
+		for op := 0; op < 500; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Int())
+				m = m.Set(k, []byte(v))
+				model[k] = v
+			case 2:
+				m = m.Delete(k)
+				delete(model, k)
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+			v, ok := m.Get(k)
+			mv, mok := model[k]
+			if ok != mok || (ok && string(v) != mv) {
+				return false
+			}
+		}
+		// Full consistency check at the end.
+		for k, mv := range model {
+			v, ok := m.Get(k)
+			if !ok || string(v) != mv {
+				return false
+			}
+		}
+		count := 0
+		m.Range(func(k string, v []byte) bool {
+			count++
+			return model[k] == string(v)
+		})
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollisions exercises collision buckets via keys engineered to collide
+// by exhausting the trie (many keys, ensuring deep paths exercise merge).
+func TestManyKeysDeepPaths(t *testing.T) {
+	m := Empty()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m = m.Set(fmt.Sprintf("account_%08d", i), []byte{byte(i), byte(i >> 8)})
+	}
+	if m.Len() != n {
+		t.Fatalf("len %d", m.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		v, ok := m.Get(fmt.Sprintf("account_%08d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("account %d wrong", i)
+		}
+	}
+}
+
+func TestCollisionNodePaths(t *testing.T) {
+	// Drive merge/collision logic directly at max depth.
+	n1 := merge("a", []byte("1"), 0, "b", []byte("2"), 0, maxLevel)
+	if !n1.coll {
+		t.Fatal("expected collision node at max level")
+	}
+	n2, added := n1.set("c", []byte("3"), 0, maxLevel)
+	if !added || len(n2.keys) != 3 {
+		t.Fatal("collision insert failed")
+	}
+	n3, added := n2.set("a", []byte("9"), 0, maxLevel)
+	if added {
+		t.Fatal("collision overwrite reported as add")
+	}
+	if v, ok := n3.get("a", 0, maxLevel); !ok || string(v) != "9" {
+		t.Fatal("collision get after overwrite failed")
+	}
+	n4, removed := n3.delete("b", 0, maxLevel)
+	if !removed {
+		t.Fatal("collision delete failed")
+	}
+	if _, ok := n4.get("b", 0, maxLevel); ok {
+		t.Fatal("deleted collision key still present")
+	}
+	if _, removed := n4.delete("zz", 0, maxLevel); removed {
+		t.Fatal("absent collision delete reported removal")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for _, n := range []int{1000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := Empty()
+			for i := 0; i < n; i++ {
+				m = m.Set(fmt.Sprintf("account_%08d", i), []byte("balance"))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Get(fmt.Sprintf("account_%08d", i%n))
+			}
+		})
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := Empty()
+			for i := 0; i < n; i++ {
+				m = m.Set(fmt.Sprintf("account_%08d", i), []byte("balance"))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Set(fmt.Sprintf("account_%08d", i%n), []byte("updated"))
+			}
+		})
+	}
+}

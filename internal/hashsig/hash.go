@@ -1,0 +1,72 @@
+// Package hashsig provides the cryptographic substrate for IA-CCF: SHA-256
+// digests, ECDSA P-256 signatures, the nonce-commitment scheme used by
+// L-PBFT, and a parallel verification pool.
+//
+// The paper's implementation uses secp256k1 and EverCrypt; this package
+// substitutes the Go standard library's P-256 and crypto/sha256, which have
+// the same asymptotics (see DESIGN.md §2).
+package hashsig
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// DigestSize is the size in bytes of all digests used by IA-CCF.
+const DigestSize = sha256.Size
+
+// Digest is a SHA-256 hash value. Ledger entries, protocol messages and
+// Merkle tree nodes are all identified by Digests.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used as a placeholder for "no value"
+// (for example the checkpoint digest before the first checkpoint exists).
+var ZeroDigest Digest
+
+// Sum returns the SHA-256 digest of data.
+func Sum(data []byte) Digest {
+	return sha256.Sum256(data)
+}
+
+// NewHasher returns a streaming hasher whose Sum output is a Digest's bytes.
+func NewHasher() hash.Hash { return sha256.New() }
+
+// SumMany returns the SHA-256 digest of the concatenation of the given
+// byte slices without materializing the concatenation.
+func SumMany(parts ...[]byte) Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// IsZero reports whether d is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// String returns the first 8 bytes of the digest in hex, for logs.
+func (d Digest) String() string { return hex.EncodeToString(d[:8]) }
+
+// Hex returns the full digest in hex.
+func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
+
+// Bytes returns the digest as a freshly allocated byte slice.
+func (d Digest) Bytes() []byte {
+	out := make([]byte, DigestSize)
+	copy(out, d[:])
+	return out
+}
+
+// DigestFromBytes converts a byte slice to a Digest. It returns false if the
+// slice is not exactly DigestSize bytes.
+func DigestFromBytes(b []byte) (Digest, bool) {
+	var d Digest
+	if len(b) != DigestSize {
+		return d, false
+	}
+	copy(d[:], b)
+	return d, true
+}

@@ -1,0 +1,220 @@
+package hashsig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesSumMany(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		joined := append(append(append([]byte{}, a...), b...), c...)
+		return Sum(joined) == SumMany(a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestFromBytes(t *testing.T) {
+	d := Sum([]byte("hello"))
+	got, ok := DigestFromBytes(d.Bytes())
+	if !ok || got != d {
+		t.Fatalf("round trip failed: ok=%v got=%v want=%v", ok, got, d)
+	}
+	if _, ok := DigestFromBytes([]byte("short")); ok {
+		t.Fatal("DigestFromBytes accepted a short slice")
+	}
+	if _, ok := DigestFromBytes(make([]byte, DigestSize+1)); ok {
+		t.Fatal("DigestFromBytes accepted a long slice")
+	}
+}
+
+func TestDigestZero(t *testing.T) {
+	if !ZeroDigest.IsZero() {
+		t.Fatal("ZeroDigest not zero")
+	}
+	if Sum(nil).IsZero() {
+		t.Fatal("Sum(nil) should not be zero")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := MustGenerateKey()
+	d := Sum([]byte("transaction"))
+	sig := k.MustSign(d)
+	if !k.Public().Verify(d, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if k.Public().Verify(Sum([]byte("other")), sig) {
+		t.Fatal("signature accepted for wrong digest")
+	}
+	other := MustGenerateKey()
+	if other.Public().Verify(d, sig) {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestVerifyCorruptedSignature(t *testing.T) {
+	k := MustGenerateKey()
+	d := Sum([]byte("m"))
+	sig := k.MustSign(d)
+	for i := range sig {
+		bad := sig.Clone()
+		bad[i] ^= 0xff
+		if k.Public().Verify(d, bad) {
+			t.Fatalf("corrupted signature at byte %d accepted", i)
+		}
+	}
+	if k.Public().Verify(d, nil) {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	k := MustGenerateKey().Public()
+	parsed, err := ParsePublicKey(k.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(k) {
+		t.Fatal("parsed key differs")
+	}
+	if parsed.ID() != k.ID() {
+		t.Fatal("parsed key ID differs")
+	}
+	if _, err := ParsePublicKey([]byte{0x04, 0x01}); err == nil {
+		t.Fatal("garbage key accepted")
+	}
+	if _, err := ParsePublicKey(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestNilPublicKeyVerify(t *testing.T) {
+	var k *PublicKey
+	if k.Verify(Sum([]byte("x")), Signature{1}) {
+		t.Fatal("nil key verified a signature")
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a := GenerateKeyFromSeed("replica-0")
+	b := GenerateKeyFromSeed("replica-0")
+	c := GenerateKeyFromSeed("replica-1")
+	if !a.Public().Equal(b.Public()) {
+		t.Fatal("same seed produced different keys")
+	}
+	if a.Public().Equal(c.Public()) {
+		t.Fatal("different seeds produced the same key")
+	}
+	d := Sum([]byte("payload"))
+	if !b.Public().Verify(d, a.MustSign(d)) {
+		t.Fatal("cross verification between same-seed keys failed")
+	}
+}
+
+func TestNonceCommitment(t *testing.T) {
+	n := NewNonce()
+	if n.IsZero() {
+		t.Fatal("fresh nonce is zero")
+	}
+	c := n.Commit()
+	if !n.Opens(c) {
+		t.Fatal("nonce does not open its own commitment")
+	}
+	var forged Nonce
+	copy(forged[:], n[:])
+	forged[0] ^= 1
+	if forged.Opens(c) {
+		t.Fatal("forged nonce opened commitment")
+	}
+}
+
+func TestNonceFromSeedDeterministic(t *testing.T) {
+	if NonceFromSeed("a") != NonceFromSeed("a") {
+		t.Fatal("seeded nonce not deterministic")
+	}
+	if NonceFromSeed("a") == NonceFromSeed("b") {
+		t.Fatal("seeded nonces collide")
+	}
+}
+
+func TestNonceDistinct(t *testing.T) {
+	seen := map[Nonce]bool{}
+	for i := 0; i < 64; i++ {
+		n := NewNonce()
+		if seen[n] {
+			t.Fatal("duplicate nonce from NewNonce")
+		}
+		seen[n] = true
+	}
+}
+
+func TestVerifierPool(t *testing.T) {
+	pool := NewVerifierPool(4)
+	defer pool.Close()
+
+	keys := make([]*PrivateKey, 10)
+	tasks := make([]VerifyTask, 10)
+	for i := range keys {
+		keys[i] = MustGenerateKey()
+		d := Sum([]byte{byte(i)})
+		tasks[i] = VerifyTask{Key: keys[i].Public(), Digest: d, Sig: keys[i].MustSign(d)}
+	}
+	if !pool.AllValid(tasks) {
+		t.Fatal("pool rejected valid signatures")
+	}
+
+	// Corrupt one task and check it is pinpointed.
+	tasks[7].Sig = tasks[7].Sig.Clone()
+	tasks[7].Sig[4] ^= 0x55
+	results := pool.VerifyAll(tasks)
+	for i, ok := range results {
+		if (i == 7) == ok {
+			t.Fatalf("task %d: got %v", i, ok)
+		}
+	}
+	if pool.AllValid(tasks) {
+		t.Fatal("pool accepted a corrupted signature")
+	}
+}
+
+func TestVerifierPoolEmpty(t *testing.T) {
+	pool := NewVerifierPool(0)
+	defer pool.Close()
+	if got := pool.VerifyAll(nil); len(got) != 0 {
+		t.Fatalf("expected empty results, got %d", len(got))
+	}
+	if !pool.AllValid(nil) {
+		t.Fatal("empty task list should be valid")
+	}
+}
+
+func TestVerifierPoolManyTasks(t *testing.T) {
+	pool := NewVerifierPool(3)
+	defer pool.Close()
+	k := MustGenerateKey()
+	d := Sum([]byte("same"))
+	sig := k.MustSign(d)
+	tasks := make([]VerifyTask, 100)
+	for i := range tasks {
+		tasks[i] = VerifyTask{Key: k.Public(), Digest: d, Sig: sig}
+	}
+	if !pool.AllValid(tasks) {
+		t.Fatal("pool rejected valid batch")
+	}
+}
+
+func TestSignatureClone(t *testing.T) {
+	k := MustGenerateKey()
+	sig := k.MustSign(Sum([]byte("x")))
+	cl := sig.Clone()
+	if !bytes.Equal(sig, cl) {
+		t.Fatal("clone differs")
+	}
+	cl[0] ^= 1
+	if bytes.Equal(sig, cl) {
+		t.Fatal("clone aliases original")
+	}
+}

@@ -1,0 +1,48 @@
+package hashsig
+
+import (
+	"crypto/rand"
+	"fmt"
+)
+
+// NonceSize is the size in bytes of L-PBFT commitment nonces.
+const NonceSize = 32
+
+// Nonce is the random value a replica commits to (by hash) in its
+// pre-prepare or prepare message and reveals in its commit message. Revealing
+// the preimage proves the replica prepared the batch without requiring a
+// second signature (paper §3.1, Appx. A Lemma 3).
+type Nonce [NonceSize]byte
+
+// ZeroNonce is the all-zero nonce, used as "absent".
+var ZeroNonce Nonce
+
+// NewNonce samples a fresh random nonce.
+func NewNonce() Nonce {
+	var n Nonce
+	if _, err := rand.Read(n[:]); err != nil {
+		// Entropy exhaustion is unrecoverable; a predictable nonce would
+		// void the commitment scheme's security.
+		panic(fmt.Sprintf("hashsig: nonce entropy: %v", err))
+	}
+	return n
+}
+
+// NonceFromSeed deterministically derives a nonce, for reproducible tests.
+func NonceFromSeed(seed string) Nonce {
+	return Nonce(Sum([]byte("iaccf-nonce-seed:" + seed)))
+}
+
+// Commit returns the hash commitment H(n) that is embedded in signed
+// pre-prepare/prepare messages.
+func (n Nonce) Commit() Digest {
+	return Sum(n[:])
+}
+
+// IsZero reports whether the nonce is absent.
+func (n Nonce) IsZero() bool { return n == ZeroNonce }
+
+// Opens reports whether n is the preimage of commitment c.
+func (n Nonce) Opens(c Digest) bool {
+	return n.Commit() == c
+}

@@ -1,0 +1,300 @@
+// Package kv implements the strictly-serializable transactional key-value
+// store that IA-CCF replicas execute transactions against (paper §2). It
+// supports rollback at transaction granularity (abort) and at batch
+// granularity (marks), as L-PBFT's early execution requires (Lemma 1), and
+// deterministic checkpoint serialization with content digests (§3.4).
+//
+// The store is backed by the persistent CHAMP map, so snapshots and
+// rollback are O(1) pointer copies.
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"iaccf/internal/champ"
+	"iaccf/internal/hashsig"
+)
+
+// ErrNoMark reports a rollback to a batch boundary that was never marked or
+// has been pruned.
+var ErrNoMark = errors.New("kv: no mark for sequence number")
+
+// Store is a transactional key-value store. Transactions execute serially
+// (the replica's execution loop is single-threaded, which is what makes the
+// history strictly serializable); Store itself is not safe for concurrent
+// mutation.
+type Store struct {
+	cur   *champ.Map
+	marks []mark
+}
+
+type mark struct {
+	seq uint64
+	m   *champ.Map
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{cur: champ.Empty()}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return s.cur.Len() }
+
+// Get reads a key outside any transaction.
+func (s *Store) Get(key string) ([]byte, bool) { return s.cur.Get(key) }
+
+// Begin starts a transaction. Reads see the current state plus the
+// transaction's own writes; nothing is visible to the store until Commit.
+func (s *Store) Begin() *Tx {
+	return &Tx{store: s, base: s.cur, writes: map[string][]byte{}, deletes: map[string]bool{}}
+}
+
+// Mark records a rollback point labelled seq, capturing the state before
+// the batch with that sequence number executes. Marks are kept until
+// PruneMarks.
+func (s *Store) Mark(seq uint64) {
+	s.marks = append(s.marks, mark{seq: seq, m: s.cur})
+}
+
+// RollbackTo restores the state captured by Mark(seq) and discards that
+// mark and all later ones.
+func (s *Store) RollbackTo(seq uint64) error {
+	for i := len(s.marks) - 1; i >= 0; i-- {
+		if s.marks[i].seq == seq {
+			s.cur = s.marks[i].m
+			s.marks = s.marks[:i]
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrNoMark, seq)
+}
+
+// PruneMarks drops marks with seq < before; batches that have committed can
+// no longer be rolled back.
+func (s *Store) PruneMarks(before uint64) {
+	keep := s.marks[:0]
+	for _, m := range s.marks {
+		if m.seq >= before {
+			keep = append(keep, m)
+		}
+	}
+	s.marks = keep
+}
+
+// Tx is a single transaction: buffered writes over a snapshot.
+type Tx struct {
+	store   *Store
+	base    *champ.Map
+	writes  map[string][]byte
+	deletes map[string]bool
+	done    bool
+}
+
+// Get reads key, seeing the transaction's own writes first.
+func (t *Tx) Get(key string) ([]byte, bool) {
+	if t.deletes[key] {
+		return nil, false
+	}
+	if v, ok := t.writes[key]; ok {
+		return v, true
+	}
+	return t.base.Get(key)
+}
+
+// Put buffers a write. The value is copied.
+func (t *Tx) Put(key string, val []byte) {
+	delete(t.deletes, key)
+	t.writes[key] = append([]byte(nil), val...)
+}
+
+// Delete buffers a deletion.
+func (t *Tx) Delete(key string) {
+	delete(t.writes, key)
+	t.deletes[key] = true
+}
+
+// WriteSetDigest returns a deterministic digest of the transaction's write
+// set (sorted puts and deletes). The paper stores this hash in each ledger
+// transaction entry's result o (§3.1, Fig. 3) so auditors can compare
+// replayed effects without serializing whole values into receipts.
+func (t *Tx) WriteSetDigest() hashsig.Digest {
+	keys := make([]string, 0, len(t.writes)+len(t.deletes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	for k := range t.deletes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := make([]byte, 0, 256)
+	for _, k := range keys {
+		h = appendLenPrefixed(h, []byte(k))
+		if t.deletes[k] {
+			h = append(h, 0x00)
+		} else {
+			h = append(h, 0x01)
+			h = appendLenPrefixed(h, t.writes[k])
+		}
+	}
+	return hashsig.Sum(h)
+}
+
+// Commit applies the buffered effects to the store.
+func (t *Tx) Commit() {
+	if t.done {
+		panic("kv: transaction already finished")
+	}
+	t.done = true
+	cur := t.store.cur
+	for k := range t.deletes {
+		cur = cur.Delete(k)
+	}
+	for k, v := range t.writes {
+		cur = cur.Set(k, v)
+	}
+	t.store.cur = cur
+}
+
+// Abort discards the transaction (rollback at transaction granularity).
+func (t *Tx) Abort() {
+	if t.done {
+		panic("kv: transaction already finished")
+	}
+	t.done = true
+}
+
+func appendLenPrefixed(dst, b []byte) []byte {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	dst = append(dst, lenBuf[:]...)
+	return append(dst, b...)
+}
+
+// Digest returns the deterministic digest of the full store contents. Two
+// replicas with identical state produce identical digests regardless of the
+// order operations were applied in; this is the key-value half of the
+// checkpoint digest d_C that pre-prepare messages carry.
+func (s *Store) Digest() hashsig.Digest {
+	h := newDigestWriter()
+	if err := s.writeSorted(h); err != nil {
+		// digestWriter never fails.
+		panic(err)
+	}
+	return h.sum()
+}
+
+// Serialize writes the full store deterministically (sorted by key):
+// count, then (klen,key,vlen,val)*.
+func (s *Store) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := s.writeSorted(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Store) writeSorted(w io.Writer) error {
+	keys := make([]string, 0, s.cur.Len())
+	s.cur.Range(func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	sort.Strings(keys)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(len(keys)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	for _, k := range keys {
+		v, _ := s.cur.Get(k)
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, k); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore replaces the store contents with a stream produced by Serialize.
+func Restore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("kv: restore count: %w", err)
+	}
+	n := binary.BigEndian.Uint64(buf[:])
+	m := champ.Empty()
+	var lenBuf [4]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("kv: restore key len: %w", err)
+		}
+		kl := binary.BigEndian.Uint32(lenBuf[:])
+		if kl > 1<<20 {
+			return nil, errors.New("kv: restore: unreasonable key length")
+		}
+		kb := make([]byte, kl)
+		if _, err := io.ReadFull(br, kb); err != nil {
+			return nil, fmt.Errorf("kv: restore key: %w", err)
+		}
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("kv: restore val len: %w", err)
+		}
+		vl := binary.BigEndian.Uint32(lenBuf[:])
+		if vl > 1<<24 {
+			return nil, errors.New("kv: restore: unreasonable value length")
+		}
+		vb := make([]byte, vl)
+		if _, err := io.ReadFull(br, vb); err != nil {
+			return nil, fmt.Errorf("kv: restore val: %w", err)
+		}
+		m = m.Set(string(kb), vb)
+	}
+	return &Store{cur: m}, nil
+}
+
+// Snapshot returns an immutable view of the current contents, for replay
+// comparisons by auditors.
+func (s *Store) Snapshot() *champ.Map { return s.cur }
+
+// Clone returns an independent store with the same contents (O(1)).
+func (s *Store) Clone() *Store {
+	return &Store{cur: s.cur}
+}
+
+// digestWriter hashes the serialization stream without materializing it.
+type digestWriter struct {
+	h interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+}
+
+func newDigestWriter() *digestWriter {
+	return &digestWriter{h: hashsig.NewHasher()}
+}
+
+func (d *digestWriter) Write(p []byte) (int, error) { return d.h.Write(p) }
+
+func (d *digestWriter) sum() hashsig.Digest {
+	var out hashsig.Digest
+	d.h.Sum(out[:0])
+	return out
+}

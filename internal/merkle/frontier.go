@@ -1,0 +1,130 @@
+package merkle
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"iaccf/internal/hashsig"
+)
+
+// Frontier is the compact serializable state of a Merkle tree: its size and
+// the hashes of the maximal perfect subtrees (peaks) covering all leaves.
+// Checkpoints record the history tree's frontier so a replica restoring from
+// a checkpoint can keep appending ledger entries and produce the same roots
+// as a replica that replayed the full ledger (paper §3.4).
+type Frontier struct {
+	Size  uint64
+	Peaks []hashsig.Digest
+}
+
+// Frontier captures the tree's current frontier.
+func (t *Tree) Frontier() (Frontier, error) {
+	n := t.Size()
+	peaks, err := t.peaksOf(n)
+	if err != nil {
+		return Frontier{}, err
+	}
+	hashes := make([]hashsig.Digest, len(peaks))
+	for i, p := range peaks {
+		hashes[i] = p.hash
+	}
+	return Frontier{Size: n, Peaks: hashes}, nil
+}
+
+// peaksOf computes the peak decomposition of the prefix of n leaves.
+func (t *Tree) peaksOf(n uint64) ([]peak, error) {
+	if n < t.base || n > t.Size() {
+		return nil, fmt.Errorf("%w: peaks of %d (base %d, size %d)", ErrOutOfRange, n, t.base, t.Size())
+	}
+	var out []peak
+	var off uint64
+	for rem := n; rem > 0; {
+		size := uint64(1) << (bits.Len64(rem) - 1)
+		h, err := t.hashRange(off, off+size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, peak{size: size, hash: h})
+		off += size
+		rem -= size
+	}
+	return out, nil
+}
+
+// FromFrontier reconstructs a tree from a frontier. The resulting tree
+// accepts appends and produces identical roots, but cannot provide paths or
+// rollback for leaves before the restore point.
+func FromFrontier(f Frontier) (*Tree, error) {
+	want := bits.OnesCount64(f.Size)
+	if len(f.Peaks) != want {
+		return nil, fmt.Errorf("merkle: frontier size %d needs %d peaks, got %d", f.Size, want, len(f.Peaks))
+	}
+	t := &Tree{base: f.Size}
+	rem := f.Size
+	for _, h := range f.Peaks {
+		size := uint64(1) << (bits.Len64(rem) - 1)
+		t.basePeaks = append(t.basePeaks, peak{size: size, hash: h})
+		rem -= size
+	}
+	return t, nil
+}
+
+// Compact drops retained leaves before index n, keeping only the peak
+// summary for the prefix. Rollback and paths before n become unavailable.
+func (t *Tree) Compact(n uint64) error {
+	if n <= t.base {
+		return nil
+	}
+	if n > t.Size() {
+		return fmt.Errorf("%w: compact to %d (size %d)", ErrOutOfRange, n, t.Size())
+	}
+	peaks, err := t.peaksOf(n)
+	if err != nil {
+		return err
+	}
+	t.leaves = append([]hashsig.Digest(nil), t.leaves[n-t.base:]...)
+	t.base = n
+	t.basePeaks = peaks
+	return nil
+}
+
+// Encode serializes the frontier deterministically.
+func (f Frontier) Encode() []byte {
+	out := make([]byte, 8+4+len(f.Peaks)*hashsig.DigestSize)
+	binary.BigEndian.PutUint64(out[0:8], f.Size)
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(f.Peaks)))
+	off := 12
+	for _, p := range f.Peaks {
+		copy(out[off:], p[:])
+		off += hashsig.DigestSize
+	}
+	return out
+}
+
+// DecodeFrontier parses a serialized frontier.
+func DecodeFrontier(b []byte) (Frontier, error) {
+	if len(b) < 12 {
+		return Frontier{}, errors.New("merkle: frontier too short")
+	}
+	f := Frontier{Size: binary.BigEndian.Uint64(b[0:8])}
+	n := binary.BigEndian.Uint32(b[8:12])
+	if uint64(len(b)) != 12+uint64(n)*hashsig.DigestSize {
+		return Frontier{}, errors.New("merkle: frontier length mismatch")
+	}
+	off := 12
+	for i := uint32(0); i < n; i++ {
+		var d hashsig.Digest
+		copy(d[:], b[off:off+hashsig.DigestSize])
+		f.Peaks = append(f.Peaks, d)
+		off += hashsig.DigestSize
+	}
+	return f, nil
+}
+
+// Digest returns a digest identifying the frontier (and therefore the entire
+// tree contents).
+func (f Frontier) Digest() hashsig.Digest {
+	return hashsig.Sum(f.Encode())
+}

@@ -1,0 +1,287 @@
+// Package merkle implements the append-only Merkle trees that bind the
+// IA-CCF ledger (paper §2, §3.1). The tree follows the RFC 6962 structure:
+//
+//	MTH([])      = H("")
+//	MTH([e])     = H(0x00 || e)
+//	MTH(D[0:n])  = H(0x01 || MTH(D[0:k]) || MTH(D[k:n]))   k = max pow2 < n
+//
+// Two trees are used by L-PBFT: the history tree M over all ledger entries,
+// whose root ¯M appears in every signed pre-prepare, and a small per-batch
+// tree G over the ⟨t,i,o⟩ transaction entries of one batch, whose root ¯G is
+// also signed and whose audit paths appear in client receipts.
+//
+// The tree supports rollback (truncation of a leaf suffix) as required by
+// Lemma 1, and can be reconstructed from a compact frontier (size + peaks)
+// recorded in checkpoints, after which it keeps accepting appends.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"iaccf/internal/hashsig"
+)
+
+var (
+	// ErrOutOfRange reports an index outside the tree.
+	ErrOutOfRange = errors.New("merkle: index out of range")
+	// ErrCompacted reports an operation that needs leaves that were dropped
+	// by Compact or never present after a frontier restore.
+	ErrCompacted = errors.New("merkle: leaves compacted away")
+)
+
+var (
+	leafPrefix     = []byte{0x00}
+	internalPrefix = []byte{0x01}
+)
+
+// EmptyRoot is the root of a tree with no leaves.
+func EmptyRoot() hashsig.Digest { return hashsig.Sum(nil) }
+
+// LeafHash computes the domain-separated hash of a leaf entry digest.
+func LeafHash(entry hashsig.Digest) hashsig.Digest {
+	return hashsig.SumMany(leafPrefix, entry[:])
+}
+
+func nodeHash(left, right hashsig.Digest) hashsig.Digest {
+	return hashsig.SumMany(internalPrefix, left[:], right[:])
+}
+
+// peak is a perfect subtree on the frontier.
+type peak struct {
+	size uint64 // number of leaves covered; a power of two
+	hash hashsig.Digest
+}
+
+// Tree is an append-only Merkle tree. The zero value is an empty tree ready
+// for use.
+//
+// A Tree retains the leaf hashes appended since its base (zero for a fresh
+// tree; the restore point for a tree built from a Frontier, or the Compact
+// point). Audit paths and prefix roots are available for the retained
+// region; the region before the base is summarized by its peaks.
+type Tree struct {
+	base      uint64   // leaves [0, base) are summarized by basePeaks
+	basePeaks []peak   // maximal perfect subtrees covering [0, base)
+	leaves    []hashsig.Digest // leaf hashes for positions [base, size)
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Size returns the number of leaves in the tree.
+func (t *Tree) Size() uint64 { return t.base + uint64(len(t.leaves)) }
+
+// Base returns the first leaf index for which the tree retains the leaf
+// hash. Paths and rollback are only available at or after the base.
+func (t *Tree) Base() uint64 { return t.base }
+
+// Append adds the digest of a new ledger entry as the rightmost leaf and
+// returns its leaf index.
+func (t *Tree) Append(entry hashsig.Digest) uint64 {
+	i := t.Size()
+	t.leaves = append(t.leaves, LeafHash(entry))
+	return i
+}
+
+// AppendLeafHash adds a pre-hashed leaf (already domain separated). It is
+// used when replaying serialized leaf hashes, e.g. restoring checkpoints.
+func (t *Tree) AppendLeafHash(leaf hashsig.Digest) uint64 {
+	i := t.Size()
+	t.leaves = append(t.leaves, leaf)
+	return i
+}
+
+// Root returns the Merkle root over all leaves.
+func (t *Tree) Root() hashsig.Digest {
+	r, err := t.RootAt(t.Size())
+	if err != nil {
+		// Size() is always a valid prefix.
+		panic(err)
+	}
+	return r
+}
+
+// RootAt returns the root of the prefix containing the first n leaves.
+// n must satisfy Base() <= n <= Size(), or n == 0.
+func (t *Tree) RootAt(n uint64) (hashsig.Digest, error) {
+	if n == 0 {
+		return EmptyRoot(), nil
+	}
+	if n < t.base || n > t.Size() {
+		return hashsig.Digest{}, fmt.Errorf("%w: prefix %d (base %d, size %d)", ErrOutOfRange, n, t.base, t.Size())
+	}
+	return t.hashRange(0, n)
+}
+
+// hashRange computes MTH(D[a:b)) for 0 <= a < b <= Size, using retained
+// leaves for positions >= base and base peaks for aligned blocks before it.
+func (t *Tree) hashRange(a, b uint64) (hashsig.Digest, error) {
+	if b <= a {
+		return hashsig.Digest{}, fmt.Errorf("%w: empty range [%d,%d)", ErrOutOfRange, a, b)
+	}
+	if a >= t.base {
+		return t.hashRetained(a, b), nil
+	}
+	// The range begins before the base: look for a base peak that starts
+	// exactly at a and fits in [a, b).
+	var off uint64
+	for _, p := range t.basePeaks {
+		if off == a {
+			if p.size == b-a {
+				return p.hash, nil
+			}
+			if p.size < b-a {
+				// Peak covers a prefix of the range; combine with the rest.
+				// This only happens when the range is ragged on the right,
+				// i.e. the recursion below would split exactly at the peak
+				// boundary, so recurse on the remainder.
+				break
+			}
+			return hashsig.Digest{}, fmt.Errorf("%w: range [%d,%d) finer than frontier", ErrCompacted, a, b)
+		}
+		off += p.size
+	}
+	if b-a == 1 {
+		return hashsig.Digest{}, fmt.Errorf("%w: leaf %d before base %d", ErrCompacted, a, t.base)
+	}
+	k := splitPoint(b - a)
+	left, err := t.hashRange(a, a+k)
+	if err != nil {
+		return hashsig.Digest{}, err
+	}
+	right, err := t.hashRange(a+k, b)
+	if err != nil {
+		return hashsig.Digest{}, err
+	}
+	return nodeHash(left, right), nil
+}
+
+// hashRetained computes MTH over a range fully inside the retained leaves.
+func (t *Tree) hashRetained(a, b uint64) hashsig.Digest {
+	if b-a == 1 {
+		return t.leaves[a-t.base]
+	}
+	k := splitPoint(b - a)
+	return nodeHash(t.hashRetained(a, a+k), t.hashRetained(a+k, b))
+}
+
+// splitPoint returns the largest power of two strictly less than n (n >= 2).
+func splitPoint(n uint64) uint64 {
+	return 1 << (bits.Len64(n-1) - 1)
+}
+
+// Path returns the audit path (bottom-up sibling hashes) proving leaf i is
+// part of the tree of the current size, per RFC 6962 PATH.
+func (t *Tree) Path(i uint64) ([]hashsig.Digest, error) {
+	return t.PathAt(i, t.Size())
+}
+
+// PathAt returns the audit path for leaf i within the prefix tree of n
+// leaves. Requires base <= i < n <= Size().
+func (t *Tree) PathAt(i, n uint64) ([]hashsig.Digest, error) {
+	if i >= n || n > t.Size() {
+		return nil, fmt.Errorf("%w: leaf %d of prefix %d (size %d)", ErrOutOfRange, i, n, t.Size())
+	}
+	if i < t.base {
+		return nil, fmt.Errorf("%w: leaf %d before base %d", ErrCompacted, i, t.base)
+	}
+	return t.pathRange(i, 0, n)
+}
+
+// pathRange computes the audit path for leaf i within the range [a, b).
+func (t *Tree) pathRange(i, a, b uint64) ([]hashsig.Digest, error) {
+	if b-a == 1 {
+		return nil, nil
+	}
+	k := splitPoint(b - a)
+	if i < a+k {
+		path, err := t.pathRange(i, a, a+k)
+		if err != nil {
+			return nil, err
+		}
+		sib, err := t.hashRange(a+k, b)
+		if err != nil {
+			return nil, err
+		}
+		return append(path, sib), nil
+	}
+	path, err := t.pathRange(i, a+k, b)
+	if err != nil {
+		return nil, err
+	}
+	sib, err := t.hashRange(a, a+k)
+	if err != nil {
+		return nil, err
+	}
+	return append(path, sib), nil
+}
+
+// VerifyPath checks that entry is the i-th of n leaves of the tree with the
+// given root, using the audit path returned by Path/PathAt.
+func VerifyPath(entry hashsig.Digest, i, n uint64, path []hashsig.Digest, root hashsig.Digest) bool {
+	if i >= n {
+		return false
+	}
+	h, rest, ok := rollUp(LeafHash(entry), i, n, path)
+	return ok && len(rest) == 0 && h == root
+}
+
+// rollUp recomputes the subtree hash for the range containing leaf i.
+func rollUp(h hashsig.Digest, i, n uint64, path []hashsig.Digest) (hashsig.Digest, []hashsig.Digest, bool) {
+	if n == 1 {
+		return h, path, true
+	}
+	if len(path) == 0 {
+		return h, nil, false
+	}
+	k := splitPoint(n)
+	if i < k {
+		sub, rest, ok := rollUp(h, i, k, path)
+		if !ok || len(rest) == 0 {
+			return h, nil, false
+		}
+		return nodeHash(sub, rest[0]), rest[1:], true
+	}
+	sub, rest, ok := rollUp(h, i-k, n-k, path)
+	if !ok || len(rest) == 0 {
+		return h, nil, false
+	}
+	return nodeHash(rest[0], sub), rest[1:], true
+}
+
+// Rollback truncates the tree to n leaves, discarding the suffix. L-PBFT
+// rolls the history tree back when a backup rejects a pre-prepare or during
+// view changes (Lemma 1). n must be within the retained region.
+func (t *Tree) Rollback(n uint64) error {
+	if n > t.Size() {
+		return fmt.Errorf("%w: rollback to %d (size %d)", ErrOutOfRange, n, t.Size())
+	}
+	if n < t.base {
+		return fmt.Errorf("%w: rollback to %d before base %d", ErrCompacted, n, t.base)
+	}
+	t.leaves = t.leaves[:n-t.base]
+	return nil
+}
+
+// LeafHashAt returns the stored leaf hash for index i (i >= Base).
+func (t *Tree) LeafHashAt(i uint64) (hashsig.Digest, error) {
+	if i >= t.Size() {
+		return hashsig.Digest{}, fmt.Errorf("%w: leaf %d (size %d)", ErrOutOfRange, i, t.Size())
+	}
+	if i < t.base {
+		return hashsig.Digest{}, fmt.Errorf("%w: leaf %d before base %d", ErrCompacted, i, t.base)
+	}
+	return t.leaves[i-t.base], nil
+}
+
+// Clone returns an independent copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		base:      t.base,
+		basePeaks: append([]peak(nil), t.basePeaks...),
+		leaves:    append([]hashsig.Digest(nil), t.leaves...),
+	}
+	return c
+}
