@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+check: vet build race

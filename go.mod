@@ -1,0 +1,3 @@
+module iaccf
+
+go 1.24

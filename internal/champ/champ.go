@@ -15,6 +15,7 @@ package champ
 import (
 	"hash/maphash"
 	"math/bits"
+	"sort"
 )
 
 const (
@@ -86,6 +87,29 @@ func (m *Map) Delete(key string) *Map {
 // across replicas must sort (see kv.Store checkpoints).
 func (m *Map) Range(fn func(key string, val []byte) bool) {
 	m.root.rang(fn)
+}
+
+// RangeSorted calls fn for every entry in ascending key order until fn
+// returns false. It walks the trie once, gathering (key, value) references
+// into a sort index, then streams entries in order — values are never
+// copied and there are no per-key trie lookups, so checkpoint serialization
+// over a large store touches each node exactly once (paper §3.4).
+func (m *Map) RangeSorted(fn func(key string, val []byte) bool) {
+	type entry struct {
+		key string
+		val []byte
+	}
+	entries := make([]entry, 0, m.size)
+	m.root.rang(func(k string, v []byte) bool {
+		entries = append(entries, entry{key: k, val: v})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	for _, e := range entries {
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
 }
 
 // node is a CHAMP trie node: dataMap marks chunks holding inline entries,

@@ -3,6 +3,7 @@ package champ
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -153,6 +154,48 @@ func TestRangeStableForSameValue(t *testing.T) {
 	}
 }
 
+func TestRangeSorted(t *testing.T) {
+	m := Empty()
+	want := make([]string, 0, 100)
+	for i := 99; i >= 0; i-- {
+		k := fmt.Sprintf("key-%03d", i)
+		m = m.Set(k, []byte{byte(i)})
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	got := make([]string, 0, 100)
+	m.RangeSorted(func(k string, v []byte) bool {
+		if len(got) > 0 && got[len(got)-1] >= k {
+			t.Fatalf("keys out of order: %q after %q", k, got[len(got)-1])
+		}
+		i := len(got)
+		if v[0] != byte(i) {
+			t.Fatalf("key %q paired with wrong value %d", k, v[0])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d keys, want %d", len(got), len(want))
+	}
+
+	// Early stop.
+	n := 0
+	m.RangeSorted(func(string, []byte) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+
+	// Empty map.
+	Empty().RangeSorted(func(string, []byte) bool {
+		t.Fatal("callback on empty map")
+		return true
+	})
+}
+
 // TestQuickModel drives the map against Go's builtin map with random ops.
 func TestQuickModel(t *testing.T) {
 	f := func(seed int64) bool {
@@ -247,7 +290,7 @@ func TestCollisionNodePaths(t *testing.T) {
 }
 
 func BenchmarkGet(b *testing.B) {
-	for _, n := range []int{1000, 100000, 1000000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			m := Empty()
 			for i := 0; i < n; i++ {
@@ -262,7 +305,7 @@ func BenchmarkGet(b *testing.B) {
 }
 
 func BenchmarkSet(b *testing.B) {
-	for _, n := range []int{1000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			m := Empty()
 			for i := 0; i < n; i++ {

@@ -9,8 +9,6 @@
 package kv
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +16,7 @@ import (
 
 	"iaccf/internal/champ"
 	"iaccf/internal/hashsig"
+	"iaccf/internal/wire"
 )
 
 // ErrNoMark reports a rollback to a batch boundary that was never marked or
@@ -46,8 +45,17 @@ func NewStore() *Store {
 // Len returns the number of live keys.
 func (s *Store) Len() int { return s.cur.Len() }
 
-// Get reads a key outside any transaction.
-func (s *Store) Get(key string) ([]byte, bool) { return s.cur.Get(key) }
+// Get reads a key outside any transaction. The returned slice is a copy:
+// the stored value is shared by every snapshot and mark referencing the same
+// CHAMP node, so handing it out directly would let a caller silently corrupt
+// history that rollback depends on.
+func (s *Store) Get(key string) ([]byte, bool) {
+	v, ok := s.cur.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
 
 // Begin starts a transaction. Reads see the current state plus the
 // transaction's own writes; nothing is visible to the store until Commit.
@@ -96,15 +104,22 @@ type Tx struct {
 	done    bool
 }
 
-// Get reads key, seeing the transaction's own writes first.
+// Get reads key, seeing the transaction's own writes first. Like Store.Get
+// it returns a copy, both of snapshot values (shared with marks) and of
+// buffered writes (mutating a buffered write through the returned slice
+// would change what Commit publishes).
 func (t *Tx) Get(key string) ([]byte, bool) {
 	if t.deletes[key] {
 		return nil, false
 	}
-	if v, ok := t.writes[key]; ok {
-		return v, true
+	v, ok := t.writes[key]
+	if !ok {
+		v, ok = t.base.Get(key)
+		if !ok {
+			return nil, false
+		}
 	}
-	return t.base.Get(key)
+	return append([]byte(nil), v...), true
 }
 
 // Put buffers a write. The value is copied.
@@ -134,12 +149,12 @@ func (t *Tx) WriteSetDigest() hashsig.Digest {
 	sort.Strings(keys)
 	h := make([]byte, 0, 256)
 	for _, k := range keys {
-		h = appendLenPrefixed(h, []byte(k))
+		h = wire.AppendString(h, k)
 		if t.deletes[k] {
 			h = append(h, 0x00)
 		} else {
 			h = append(h, 0x01)
-			h = appendLenPrefixed(h, t.writes[k])
+			h = wire.AppendBytes(h, t.writes[k])
 		}
 	}
 	return hashsig.Sum(h)
@@ -169,20 +184,13 @@ func (t *Tx) Abort() {
 	t.done = true
 }
 
-func appendLenPrefixed(dst, b []byte) []byte {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
-	dst = append(dst, lenBuf[:]...)
-	return append(dst, b...)
-}
-
 // Digest returns the deterministic digest of the full store contents. Two
 // replicas with identical state produce identical digests regardless of the
 // order operations were applied in; this is the key-value half of the
 // checkpoint digest d_C that pre-prepare messages carry.
 func (s *Store) Digest() hashsig.Digest {
 	h := newDigestWriter()
-	if err := s.writeSorted(h); err != nil {
+	if err := s.writeSorted(wire.NewWriter(h)); err != nil {
 		// digestWriter never fails.
 		panic(err)
 	}
@@ -190,82 +198,38 @@ func (s *Store) Digest() hashsig.Digest {
 }
 
 // Serialize writes the full store deterministically (sorted by key):
-// count, then (klen,key,vlen,val)*.
+// count, then (klen,key,vlen,val)* in the wire codec.
 func (s *Store) Serialize(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if err := s.writeSorted(bw); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return s.writeSorted(wire.NewWriter(w))
 }
 
-func (s *Store) writeSorted(w io.Writer) error {
-	keys := make([]string, 0, s.cur.Len())
-	s.cur.Range(func(k string, _ []byte) bool {
-		keys = append(keys, k)
-		return true
+func (s *Store) writeSorted(w *wire.Writer) error {
+	w.Uint64(uint64(s.cur.Len()))
+	s.cur.RangeSorted(func(k string, v []byte) bool {
+		w.String(k)
+		w.Bytes(v)
+		return w.Err() == nil
 	})
-	sort.Strings(keys)
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(len(keys)))
-	if _, err := w.Write(buf[:]); err != nil {
-		return err
-	}
-	var lenBuf [4]byte
-	for _, k := range keys {
-		v, _ := s.cur.Get(k)
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(k)))
-		if _, err := w.Write(lenBuf[:]); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, k); err != nil {
-			return err
-		}
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
-		if _, err := w.Write(lenBuf[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(v); err != nil {
-			return err
-		}
-	}
-	return nil
+	return w.Flush()
 }
 
 // Restore replaces the store contents with a stream produced by Serialize.
+// The stream must contain exactly one checkpoint: trailing data is rejected,
+// so distinct byte streams never restore to the same store.
 func Restore(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
-	var buf [8]byte
-	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return nil, fmt.Errorf("kv: restore count: %w", err)
-	}
-	n := binary.BigEndian.Uint64(buf[:])
+	rd := wire.NewReader(r)
+	n := rd.Uint64()
 	m := champ.Empty()
-	var lenBuf [4]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return nil, fmt.Errorf("kv: restore key len: %w", err)
+	for i := uint64(0); i < n && rd.Err() == nil; i++ {
+		k := rd.String(wire.MaxKeyLen)
+		v := rd.Bytes(wire.MaxValueLen)
+		if rd.Err() == nil {
+			m = m.Set(k, v)
 		}
-		kl := binary.BigEndian.Uint32(lenBuf[:])
-		if kl > 1<<20 {
-			return nil, errors.New("kv: restore: unreasonable key length")
-		}
-		kb := make([]byte, kl)
-		if _, err := io.ReadFull(br, kb); err != nil {
-			return nil, fmt.Errorf("kv: restore key: %w", err)
-		}
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return nil, fmt.Errorf("kv: restore val len: %w", err)
-		}
-		vl := binary.BigEndian.Uint32(lenBuf[:])
-		if vl > 1<<24 {
-			return nil, errors.New("kv: restore: unreasonable value length")
-		}
-		vb := make([]byte, vl)
-		if _, err := io.ReadFull(br, vb); err != nil {
-			return nil, fmt.Errorf("kv: restore val: %w", err)
-		}
-		m = m.Set(string(kb), vb)
+	}
+	rd.ExpectEOF()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("kv: restore: %w", err)
 	}
 	return &Store{cur: m}, nil
 }

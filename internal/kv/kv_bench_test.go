@@ -1,0 +1,81 @@
+package kv
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("account_%08d", i), []byte("0000000100"))
+		tx.Commit()
+	}
+	return s
+}
+
+// BenchmarkCommit measures one transaction (SmallBank-style: read-modify-
+// write of two keys) committing against stores of increasing size.
+func BenchmarkCommit(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := s.Begin()
+				src := fmt.Sprintf("account_%08d", i%n)
+				dst := fmt.Sprintf("account_%08d", (i+1)%n)
+				v, _ := tx.Get(src)
+				tx.Put(src, v)
+				tx.Put(dst, []byte("0000000200"))
+				tx.Commit()
+			}
+		})
+	}
+}
+
+// BenchmarkDigest measures checkpoint digest computation d_C over the full
+// store: the cost a replica pays at each checkpoint interval.
+func BenchmarkDigest(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Digest()
+			}
+		})
+	}
+}
+
+// BenchmarkSerialize measures streaming checkpoint serialization.
+func BenchmarkSerialize(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Serialize(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWriteSetDigest measures the per-transaction result digest o.
+func BenchmarkWriteSetDigest(b *testing.B) {
+	s := NewStore()
+	tx := s.Begin()
+	for i := 0; i < 8; i++ {
+		tx.Put(fmt.Sprintf("k%d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.WriteSetDigest()
+	}
+	b.StopTimer()
+	tx.Abort()
+}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"iaccf/internal/wire"
 )
 
 func TestBasicTx(t *testing.T) {
@@ -240,6 +242,19 @@ func TestRestoreCorrupt(t *testing.T) {
 	if _, err := Restore(bytes.NewReader(bad)); err == nil {
 		t.Fatal("hostile key length accepted")
 	}
+	// Trailing data after the declared entries.
+	s := NewStore()
+	tx := s.Begin()
+	tx.Put("k", []byte("v"))
+	tx.Commit()
+	var buf bytes.Buffer
+	if err := s.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x00)
+	if _, err := Restore(&buf); err == nil {
+		t.Fatal("stream with trailing data restored")
+	}
 }
 
 func TestClone(t *testing.T) {
@@ -256,6 +271,109 @@ func TestClone(t *testing.T) {
 	}
 	if v, _ := c.Get("a"); string(v) != "2" {
 		t.Fatal("clone did not take write")
+	}
+}
+
+// Regression: Get used to return the slice stored inside the CHAMP map, so
+// mutating the result corrupted every snapshot and mark sharing that node.
+func TestGetReturnsDefensiveCopy(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	tx.Put("k", []byte("original"))
+	tx.Commit()
+	s.Mark(1)
+	before := s.Digest()
+
+	v, _ := s.Get("k")
+	copy(v, "CLOBBER!")
+	if got, _ := s.Get("k"); string(got) != "original" {
+		t.Fatal("mutating Store.Get result corrupted the store")
+	}
+	if s.Digest() != before {
+		t.Fatal("mutating Store.Get result changed the store digest")
+	}
+
+	tx = s.Begin()
+	v, _ = tx.Get("k")
+	copy(v, "CLOBBER!")
+	if got, _ := tx.Get("k"); string(got) != "original" {
+		t.Fatal("mutating Tx.Get snapshot result corrupted the snapshot")
+	}
+	tx.Put("pending", []byte("buffered"))
+	v, _ = tx.Get("pending")
+	copy(v, "CLOBBER!")
+	tx.Commit()
+	if got, _ := s.Get("pending"); string(got) != "buffered" {
+		t.Fatal("mutating Tx.Get result corrupted the buffered write")
+	}
+
+	if err := s.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("k"); string(got) != "original" {
+		t.Fatal("marked snapshot was corrupted through a Get result")
+	}
+}
+
+// The checkpoint stream is plain wire codec: count, then sorted
+// (key, value) pairs, each parseable by wire.Reader.
+func TestSerializeIsWireCodec(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	tx.Put("b", []byte("2"))
+	tx.Put("a", []byte("1"))
+	tx.Put("c", nil)
+	tx.Commit()
+	var buf bytes.Buffer
+	if err := s.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(&buf)
+	if n := r.Uint64(); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	wantKeys := []string{"a", "b", "c"}
+	wantVals := []string{"1", "2", ""}
+	for i := range wantKeys {
+		if k := r.String(wire.MaxKeyLen); k != wantKeys[i] {
+			t.Fatalf("key %d = %q, want %q (stream must be key-sorted)", i, k, wantKeys[i])
+		}
+		if v := r.Bytes(wire.MaxValueLen); string(v) != wantVals[i] {
+			t.Fatalf("val %d = %q", i, v)
+		}
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Round trip through the wire codec preserves contents, digest, and the
+// serialized byte stream itself.
+func TestWireRoundTripCanonical(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("key-%03d", i), bytes.Repeat([]byte{byte(i)}, i%17))
+		tx.Commit()
+	}
+	var first bytes.Buffer
+	if err := s.Serialize(&first); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.Serialize(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("serialize -> restore -> serialize is not byte-identical")
+	}
+	if restored.Digest() != s.Digest() {
+		t.Fatal("round trip changed the digest")
 	}
 }
 

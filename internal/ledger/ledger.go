@@ -1,0 +1,379 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/kv"
+	"iaccf/internal/merkle"
+	"iaccf/internal/wire"
+)
+
+var (
+	// ErrConfig reports a Ledger constructed without a key or app.
+	ErrConfig = errors.New("ledger: config needs a signing key and an app")
+	// ErrUnknownSeq reports a rollback to a batch boundary that was never
+	// marked or has been pruned.
+	ErrUnknownSeq = errors.New("ledger: unknown batch sequence number")
+	// ErrBadBatch reports a malformed batch on decode.
+	ErrBadBatch = errors.New("ledger: malformed batch")
+)
+
+// headerDomain domain-separates batch header signatures from all other
+// signed messages.
+var headerDomain = []byte("iaccf-batch-header:")
+
+// BatchHeader is the signed commitment a replica issues for one executed
+// batch. It binds the batch sequence number, the history tree root ¯M
+// after the batch, the per-batch tree root ¯G and its leaf count, and the
+// digest d_C of the latest checkpoint (paper §3.1: the signed part of a
+// pre-prepare).
+type BatchHeader struct {
+	Seq        uint64         // batch sequence number
+	HistSize   uint64         // leaves in M after this batch
+	MRoot      hashsig.Digest // ¯M
+	GRoot      hashsig.Digest // ¯G
+	GSize      uint64         // entries under G (audit path width)
+	CkptDigest hashsig.Digest // d_C of the latest checkpoint (zero before the first)
+	Sig        hashsig.Signature
+}
+
+// writeSignedFields emits every header field covered by the signature, in
+// signing order. It is the single enumeration shared by SigningDigest and
+// the batch codec, so the signature preimage and the serialized form can
+// never drift apart; readSignedFields is its inverse.
+func (h *BatchHeader) writeSignedFields(w *wire.Writer) {
+	w.Uint64(h.Seq)
+	w.Uint64(h.HistSize)
+	w.Digest(h.MRoot)
+	w.Digest(h.GRoot)
+	w.Uint64(h.GSize)
+	w.Digest(h.CkptDigest)
+}
+
+func (h *BatchHeader) readSignedFields(r *wire.Reader) {
+	h.Seq = r.Uint64()
+	h.HistSize = r.Uint64()
+	h.MRoot = r.Digest()
+	h.GRoot = r.Digest()
+	h.GSize = r.Uint64()
+	h.CkptDigest = r.Digest()
+}
+
+// SigningDigest returns the digest the replica signs: every header field
+// except the signature, domain separated.
+func (h *BatchHeader) SigningDigest() hashsig.Digest {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	h.writeSignedFields(w)
+	if err := w.Flush(); err != nil {
+		// Writing to a bytes.Buffer never fails.
+		panic(err)
+	}
+	return hashsig.SumMany(headerDomain, buf.Bytes())
+}
+
+// Verify reports whether the header carries a valid signature by pub.
+func (h *BatchHeader) Verify(pub *hashsig.PublicKey) bool {
+	return pub.Verify(h.SigningDigest(), h.Sig)
+}
+
+// Batch is one executed batch: the signed header plus the entries it
+// covers, in ledger order. A sequence of batches is the ledger stream an
+// auditor replays.
+type Batch struct {
+	Header  BatchHeader
+	Entries []Entry
+}
+
+// Receipt is the client's offline-verifiable proof that its transaction
+// executed in a given batch: the transaction entry, its audit path in the
+// batch tree G, and the signed header the path roots in (paper §3.1).
+type Receipt struct {
+	Header BatchHeader
+	Entry  Entry
+	Index  uint64 // leaf index of Entry in G
+	Path   []hashsig.Digest
+}
+
+// Verify checks the receipt against the replica public key: the header
+// signature must be valid and the entry's audit path must root in ¯G.
+func (r *Receipt) Verify(pub *hashsig.PublicKey) bool {
+	if !r.Header.Verify(pub) {
+		return false
+	}
+	return merkle.VerifyPath(r.Entry.Digest(), r.Index, r.Header.GSize, r.Path, r.Header.GRoot)
+}
+
+// Request is one client or member submission awaiting execution.
+type Request struct {
+	// Governance records the request on the ledger without executing it
+	// against the store.
+	Governance bool
+	// Author is the submitting key's ID (client for transactions, member
+	// for governance).
+	Author hashsig.Digest
+	// ReqNo is the client's request number i, making ⟨t,i⟩ unique per
+	// client so duplicate submissions are distinguishable on the ledger.
+	ReqNo uint64
+	// Body is the application payload t (or the governance action).
+	Body []byte
+}
+
+// Config parameterizes a Ledger.
+type Config struct {
+	// Key signs batch headers. Required.
+	Key *hashsig.PrivateKey
+	// App executes transaction payloads. Required.
+	App App
+	// CheckpointEvery takes a state checkpoint (and appends a checkpoint
+	// marker entry) every n batches. 0 means every batch.
+	CheckpointEvery uint64
+}
+
+// Ledger executes batches of requests against a key-value store while
+// maintaining the history tree M, emitting signed batch headers and client
+// receipts. It is single-writer, like the replica execution loop it models.
+type Ledger struct {
+	cfg      Config
+	store    *kv.Store
+	hist     *merkle.Tree
+	nextSeq  uint64
+	lastCkpt hashsig.Digest
+	marks    []ledgerMark
+	batches  []*Batch
+}
+
+// ledgerMark pairs a kv mark with the history-tree size and checkpoint
+// digest at the same boundary, so RollbackTo restores all three in
+// lockstep.
+type ledgerMark struct {
+	seq      uint64
+	histSize uint64
+	lastCkpt hashsig.Digest
+}
+
+// New returns a ledger executing against a fresh store. The first batch
+// has sequence number 1.
+func New(cfg Config) (*Ledger, error) {
+	if cfg.Key == nil || cfg.App == nil {
+		return nil, ErrConfig
+	}
+	return &Ledger{
+		cfg:     cfg,
+		store:   kv.NewStore(),
+		hist:    merkle.New(),
+		nextSeq: 1,
+	}, nil
+}
+
+// Seq returns the sequence number the next batch will get.
+func (l *Ledger) Seq() uint64 { return l.nextSeq }
+
+// HistRoot returns the current history tree root ¯M.
+func (l *Ledger) HistRoot() hashsig.Digest { return l.hist.Root() }
+
+// HistSize returns the number of entries in the history tree.
+func (l *Ledger) HistSize() uint64 { return l.hist.Size() }
+
+// StateDigest returns the deterministic digest of the current store state.
+func (l *Ledger) StateDigest() hashsig.Digest { return l.store.Digest() }
+
+// Get reads a key from the executed state.
+func (l *Ledger) Get(key string) ([]byte, bool) { return l.store.Get(key) }
+
+// Batches returns the emitted batch stream since genesis (or the last
+// rollback), oldest first. The slice is shared; callers must not mutate.
+func (l *Ledger) Batches() []*Batch { return l.batches }
+
+// ExecuteBatch executes the requests as one batch: each transaction runs
+// in its own kv transaction (aborting individually on error), every
+// resulting entry is appended to M and to a fresh batch tree G, a
+// checkpoint marker is appended when due, and the signed header plus one
+// receipt per transaction entry are returned.
+func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
+	seq := l.nextSeq
+	l.store.Mark(seq)
+	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
+
+	entries := make([]Entry, 0, len(reqs)+1)
+	txIdx := make([]int, 0, len(reqs))
+	for _, req := range reqs {
+		if req.Governance {
+			entries = append(entries, Entry{
+				Kind:    KindGovernance,
+				Author:  req.Author,
+				Payload: append([]byte(nil), req.Body...),
+			})
+			continue
+		}
+		e := Entry{
+			Kind:    KindTransaction,
+			Author:  req.Author,
+			ReqNo:   req.ReqNo,
+			Payload: append([]byte(nil), req.Body...),
+		}
+		tx := l.store.Begin()
+		if err := l.cfg.App.Execute(tx, req.Body); err != nil {
+			// Failed transactions are still recorded, with a zero result:
+			// the ledger holds clients accountable for what they submitted,
+			// not only for what succeeded.
+			tx.Abort()
+		} else {
+			e.Result = tx.WriteSetDigest()
+			tx.Commit()
+		}
+		txIdx = append(txIdx, len(entries))
+		entries = append(entries, e)
+	}
+
+	every := l.cfg.CheckpointEvery
+	if every == 0 {
+		every = 1
+	}
+	if seq%every == 0 {
+		d := l.store.Digest()
+		entries = append(entries, Entry{Kind: KindCheckpoint, Seq: seq, State: d})
+		l.lastCkpt = d
+	}
+
+	digests := make([]hashsig.Digest, len(entries))
+	for i := range entries {
+		digests[i] = entries[i].Digest()
+	}
+	g := merkle.New()
+	_, gRoot, paths, err := g.AppendAndProve(digests)
+	if err != nil {
+		// A fresh tree over in-range leaves cannot fail.
+		panic(err)
+	}
+	for _, d := range digests {
+		l.hist.Append(d)
+	}
+
+	header := BatchHeader{
+		Seq:        seq,
+		HistSize:   l.hist.Size(),
+		MRoot:      l.hist.Root(),
+		GRoot:      gRoot,
+		GSize:      uint64(len(entries)),
+		CkptDigest: l.lastCkpt,
+	}
+	header.Sig = l.cfg.Key.MustSign(header.SigningDigest())
+
+	batch := &Batch{Header: header, Entries: entries}
+	receipts := make([]Receipt, len(txIdx))
+	for i, idx := range txIdx {
+		e := entries[idx]
+		// The payload slice is otherwise shared with the retained batch: a
+		// client mutating its receipt must not corrupt the ledger's stream.
+		e.Payload = append([]byte(nil), e.Payload...)
+		receipts[i] = Receipt{
+			Header: header,
+			Entry:  e,
+			Index:  uint64(idx),
+			Path:   paths[idx],
+		}
+	}
+	l.batches = append(l.batches, batch)
+	l.nextSeq = seq + 1
+	return batch, receipts, nil
+}
+
+// RollbackTo undoes batch seq and everything after it, restoring the store,
+// the history tree, and the checkpoint digest to the state just before
+// batch seq executed (Lemma 1). The next executed batch reuses sequence
+// number seq.
+func (l *Ledger) RollbackTo(seq uint64) error {
+	i := len(l.marks) - 1
+	for ; i >= 0; i-- {
+		if l.marks[i].seq == seq {
+			break
+		}
+	}
+	if i < 0 {
+		return fmt.Errorf("%w: %d", ErrUnknownSeq, seq)
+	}
+	if err := l.store.RollbackTo(seq); err != nil {
+		return err
+	}
+	m := l.marks[i]
+	if err := l.hist.Rollback(m.histSize); err != nil {
+		// The history tree is only compacted past pruned marks, so a
+		// marked boundary is always within the retained region.
+		panic(err)
+	}
+	l.lastCkpt = m.lastCkpt
+	l.marks = l.marks[:i]
+	for len(l.batches) > 0 && l.batches[len(l.batches)-1].Header.Seq >= seq {
+		l.batches = l.batches[:len(l.batches)-1]
+	}
+	l.nextSeq = seq
+	return nil
+}
+
+// PruneMarks drops rollback marks with seq < before; batches that have
+// committed globally no longer need to be undoable.
+func (l *Ledger) PruneMarks(before uint64) {
+	l.store.PruneMarks(before)
+	keep := l.marks[:0]
+	for _, m := range l.marks {
+		if m.seq >= before {
+			keep = append(keep, m)
+		}
+	}
+	l.marks = keep
+}
+
+// WriteBatches serializes a batch stream: count, then each batch's header
+// and entries in the wire codec.
+func WriteBatches(w io.Writer, batches []*Batch) error {
+	ww := wire.NewWriter(w)
+	ww.Uint32(uint32(len(batches)))
+	for _, b := range batches {
+		b.Header.writeSignedFields(ww)
+		ww.Bytes(b.Header.Sig)
+		ww.Uint32(uint32(len(b.Entries)))
+		for i := range b.Entries {
+			b.Entries[i].encodeTo(ww)
+		}
+	}
+	return ww.Flush()
+}
+
+// ReadBatches parses a stream produced by WriteBatches.
+func ReadBatches(r io.Reader) ([]*Batch, error) {
+	rr := wire.NewReader(r)
+	n := rr.Uint32()
+	const maxBatches = 1 << 24
+	if rr.Err() == nil && n > maxBatches {
+		return nil, fmt.Errorf("%w: %d batches", ErrBadBatch, n)
+	}
+	// Preallocation hints are capped: counts are attacker-controlled, and a
+	// tiny hostile stream must not drive a huge allocation before the first
+	// decode error surfaces.
+	batches := make([]*Batch, 0, min(n, 1024))
+	for i := uint32(0); i < n && rr.Err() == nil; i++ {
+		b := &Batch{}
+		b.Header.readSignedFields(rr)
+		b.Header.Sig = rr.Bytes(1 << 10)
+		ne := rr.Uint32()
+		const maxEntries = 1 << 20
+		if rr.Err() == nil && ne > maxEntries {
+			return nil, fmt.Errorf("%w: %d entries", ErrBadBatch, ne)
+		}
+		b.Entries = make([]Entry, 0, min(ne, 1024))
+		for j := uint32(0); j < ne && rr.Err() == nil; j++ {
+			b.Entries = append(b.Entries, decodeEntry(rr))
+		}
+		batches = append(batches, b)
+	}
+	rr.ExpectEOF()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
+	}
+	return batches, nil
+}

@@ -1,0 +1,85 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+func benchRequests(batch, txPerBatch int) []Request {
+	reqs := make([]Request, txPerBatch)
+	for i := range reqs {
+		reqs[i] = Request{
+			Author: hashsig.Sum([]byte(fmt.Sprintf("client-%d", i%8))),
+			ReqNo:  uint64(batch),
+			Body: EncodeOps([]Op{
+				{Key: fmt.Sprintf("account_%06d", (batch*txPerBatch+i)%1000), Val: []byte("balance")},
+			}),
+		}
+	}
+	return reqs
+}
+
+// BenchmarkExecuteBatch is the end-to-end hot path: execute a batch of
+// transactions, build G with receipts, extend M, sign the header.
+func BenchmarkExecuteBatch(b *testing.B) {
+	for _, txs := range []int{16, 128} {
+		b.Run(fmt.Sprintf("txs=%d", txs), func(b *testing.B) {
+			l, err := New(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := l.ExecuteBatch(benchRequests(i, txs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplay measures the auditor's throughput with pooled signature
+// verification.
+func BenchmarkReplay(b *testing.B) {
+	const batches = 32
+	l, err := New(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < batches; i++ {
+		if _, _, err := l.ExecuteBatch(benchRequests(i, 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stream := l.Batches()
+	pub := testKey.Public()
+	pool := hashsig.NewVerifierPool(0)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(stream, pub, KVApp{}, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReceiptVerify is the client-side cost of checking one receipt.
+func BenchmarkReceiptVerify(b *testing.B) {
+	l, err := New(Config{Key: testKey, App: KVApp{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, receipts, err := l.ExecuteBatch(benchRequests(0, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := testKey.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !receipts[i%len(receipts)].Verify(pub) {
+			b.Fatal("receipt rejected")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/kv"
+	"iaccf/internal/merkle"
+)
+
+// ErrReplay reports a batch stream that does not reproduce its own signed
+// commitments: a tampered entry, a forged result, an inconsistent root, or
+// an invalid header signature. This is the auditor's evidence of
+// misbehaviour (paper §5).
+var ErrReplay = errors.New("ledger: replay divergence")
+
+// ReplayResult summarizes a successful replay.
+type ReplayResult struct {
+	Batches     int
+	Entries     int
+	HistSize    uint64
+	HistRoot    hashsig.Digest // ¯M after the last batch
+	StateDigest hashsig.Digest // store digest after the last batch
+	CkptDigest  hashsig.Digest // d_C of the last checkpoint taken
+}
+
+// Replay re-executes a batch stream from genesis and checks every signed
+// commitment against the recomputed state: header signatures (verified
+// batch-parallel through pool when provided), per-entry results, batch
+// tree roots ¯G, history tree roots ¯M, and checkpoint digests d_C. app
+// must be the same deterministic application the primary ran. A nil error
+// means the stream is exactly reproducible — the replica that signed it
+// executed it faithfully.
+func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.VerifierPool) (*ReplayResult, error) {
+	if app == nil {
+		return nil, ErrConfig
+	}
+	// Verify all header signatures up front as one parallel batch: replay
+	// is the verification-heavy path the paper parallelizes (§3.4).
+	tasks := make([]hashsig.VerifyTask, len(batches))
+	for i, b := range batches {
+		tasks[i] = hashsig.VerifyTask{Key: pub, Digest: b.Header.SigningDigest(), Sig: b.Header.Sig}
+	}
+	var oks []bool
+	if pool != nil {
+		oks = pool.VerifyAll(tasks)
+	} else {
+		oks = make([]bool, len(tasks))
+		for i, t := range tasks {
+			oks[i] = t.Key.Verify(t.Digest, t.Sig)
+		}
+	}
+	for i, ok := range oks {
+		if !ok {
+			return nil, fmt.Errorf("%w: batch %d: invalid header signature", ErrReplay, batches[i].Header.Seq)
+		}
+	}
+
+	store := kv.NewStore()
+	hist := merkle.New()
+	var lastCkpt hashsig.Digest
+	res := &ReplayResult{}
+	var wantSeq uint64
+	for bi, b := range batches {
+		seq := b.Header.Seq
+		if bi == 0 {
+			wantSeq = seq
+		}
+		if seq != wantSeq {
+			return nil, fmt.Errorf("%w: batch %d: expected sequence %d", ErrReplay, seq, wantSeq)
+		}
+		wantSeq++
+		digests := make([]hashsig.Digest, len(b.Entries))
+		for ei := range b.Entries {
+			e := &b.Entries[ei]
+			switch e.Kind {
+			case KindTransaction:
+				tx := store.Begin()
+				var got hashsig.Digest
+				if err := app.Execute(tx, e.Payload); err != nil {
+					tx.Abort()
+				} else {
+					got = tx.WriteSetDigest()
+					tx.Commit()
+				}
+				if got != e.Result {
+					return nil, fmt.Errorf("%w: batch %d entry %d: result digest mismatch", ErrReplay, seq, ei)
+				}
+			case KindGovernance:
+				// Recorded, no state effect.
+			case KindCheckpoint:
+				if e.Seq != seq {
+					return nil, fmt.Errorf("%w: batch %d entry %d: checkpoint labelled %d", ErrReplay, seq, ei, e.Seq)
+				}
+				if got := store.Digest(); got != e.State {
+					return nil, fmt.Errorf("%w: batch %d: checkpoint digest mismatch", ErrReplay, seq)
+				}
+				lastCkpt = e.State
+			default:
+				return nil, fmt.Errorf("%w: batch %d entry %d: unknown kind %d", ErrReplay, seq, ei, e.Kind)
+			}
+			digests[ei] = e.Digest()
+			res.Entries++
+		}
+
+		g := merkle.New()
+		for _, d := range digests {
+			g.Append(d)
+		}
+		if got := uint64(len(digests)); got != b.Header.GSize {
+			return nil, fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrReplay, seq, got, b.Header.GSize)
+		}
+		if got := g.Root(); got != b.Header.GRoot {
+			return nil, fmt.Errorf("%w: batch %d: batch root mismatch", ErrReplay, seq)
+		}
+		for _, d := range digests {
+			hist.Append(d)
+		}
+		if got := hist.Size(); got != b.Header.HistSize {
+			return nil, fmt.Errorf("%w: batch %d: history size %d, header claims %d", ErrReplay, seq, got, b.Header.HistSize)
+		}
+		if got := hist.Root(); got != b.Header.MRoot {
+			return nil, fmt.Errorf("%w: batch %d: history root mismatch", ErrReplay, seq)
+		}
+		if b.Header.CkptDigest != lastCkpt {
+			return nil, fmt.Errorf("%w: batch %d: checkpoint reference mismatch", ErrReplay, seq)
+		}
+		res.Batches++
+	}
+	res.HistSize = hist.Size()
+	res.HistRoot = hist.Root()
+	res.StateDigest = store.Digest()
+	res.CkptDigest = lastCkpt
+	return res, nil
+}

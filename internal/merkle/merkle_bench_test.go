@@ -1,0 +1,90 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+// BenchmarkAppendRoot measures appending one leaf and recomputing the root
+// on trees of increasing size: the per-entry history tree cost.
+func BenchmarkAppendRoot(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := New()
+			for _, e := range entries(n, "bench") {
+				tr.Append(e)
+			}
+			e := hashsig.Sum([]byte("next"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Append(e)
+				tr.Root()
+			}
+		})
+	}
+}
+
+// BenchmarkPath measures a single audit path on a full tree.
+func BenchmarkPath(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := New()
+			for _, e := range entries(n, "bench") {
+				tr.Append(e)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Path(uint64(i % n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendAndProve measures batch-tree construction with all paths,
+// against the naive per-leaf Path loop it replaces.
+func BenchmarkAppendAndProve(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		es := entries(n, "batch")
+		b.Run(fmt.Sprintf("shared/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := New()
+				if _, _, _, err := tr.AppendAndProve(es); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("perleaf/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := New()
+				for _, e := range es {
+					tr.Append(e)
+				}
+				tr.Root()
+				for j := 0; j < n; j++ {
+					if _, err := tr.Path(uint64(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConsistencyProof measures checkpoint-to-head consistency proofs.
+func BenchmarkConsistencyProof(b *testing.B) {
+	const n = 100000
+	tr := New()
+	for _, e := range entries(n, "bench") {
+		tr.Append(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ConsistencyProof(uint64(1+i%(n-1)), n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

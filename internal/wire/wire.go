@@ -1,0 +1,238 @@
+// Package wire is the deterministic binary codec shared by every IA-CCF
+// serialization surface: key-value checkpoints, ledger entries, batch
+// headers, and receipts. All integers are big-endian; variable-length byte
+// strings are length-prefixed with a uint32. Two encoders given the same
+// logical value always produce identical bytes, which is what lets replicas
+// compare checkpoint digests d_C and lets auditors re-derive entry digests
+// during replay (paper §3.1, §3.4).
+//
+// The package offers two styles:
+//
+//   - Append* functions build small messages in memory (ledger entries,
+//     signing preimages) without an intermediate writer.
+//   - Writer/Reader stream large structures (checkpoints) with sticky error
+//     handling, so call sites stay free of per-field error plumbing.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"iaccf/internal/hashsig"
+)
+
+// ErrCorrupt reports a malformed or hostile input stream.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// Limits on variable-length fields, enforced on decode so a hostile stream
+// cannot drive huge allocations. Encoding never checks: producers are
+// trusted to stay within them.
+const (
+	// MaxKeyLen bounds key-value store keys.
+	MaxKeyLen = 1 << 20
+	// MaxValueLen bounds key-value store values and ledger entry payloads.
+	MaxValueLen = 1 << 24
+)
+
+// AppendUint32 appends v big-endian.
+func AppendUint32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendUint64 appends v big-endian.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendBytes appends b with a uint32 length prefix.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends s with a uint32 length prefix.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendDigest appends the raw digest bytes (fixed size, no prefix).
+func AppendDigest(dst []byte, d hashsig.Digest) []byte {
+	return append(dst, d[:]...)
+}
+
+// Writer streams wire-encoded fields to an io.Writer. The first error
+// sticks: subsequent writes are no-ops and Flush reports it.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer buffering onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.bw.Write(p)
+}
+
+// Uint32 writes v big-endian.
+func (w *Writer) Uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+// Uint64 writes v big-endian.
+func (w *Writer) Uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+// Bytes writes b with a uint32 length prefix.
+func (w *Writer) Bytes(b []byte) {
+	w.Uint32(uint32(len(b)))
+	w.write(b)
+}
+
+// String writes s with a uint32 length prefix.
+func (w *Writer) String(s string) {
+	w.Uint32(uint32(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.bw.WriteString(s)
+}
+
+// Digest writes the raw digest bytes.
+func (w *Writer) Digest(d hashsig.Digest) {
+	w.write(d[:])
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader streams wire-encoded fields from an io.Reader. The first error
+// sticks: subsequent reads return zero values and Err reports it.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewReader returns a Reader buffering from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+func (r *Reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return false
+	}
+	return true
+}
+
+// Byte reads a single byte (type tags, flags).
+func (r *Reader) Byte() byte {
+	var b [1]byte
+	if !r.read(b[:]) {
+		return 0
+	}
+	return b[0]
+}
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	var b [4]byte
+	if !r.read(b[:]) {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	var b [8]byte
+	if !r.read(b[:]) {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Bytes reads a length-prefixed byte string of at most max bytes.
+func (r *Reader) Bytes(max uint32) []byte {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if n > max {
+		r.err = fmt.Errorf("%w: field length %d exceeds limit %d", ErrCorrupt, n, max)
+		return nil
+	}
+	b := make([]byte, n)
+	if !r.read(b) {
+		return nil
+	}
+	return b
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (r *Reader) String(max uint32) string {
+	return string(r.Bytes(max))
+}
+
+// Digest reads raw digest bytes.
+func (r *Reader) Digest() hashsig.Digest {
+	var d hashsig.Digest
+	r.read(d[:])
+	return d
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// ExpectEOF fails the reader if any input remains. Decoders of fixed-shape
+// messages call it so that two distinct byte strings can never decode to
+// the same value (canonical encodings are what make entry digests binding).
+func (r *Reader) ExpectEOF() {
+	if r.err != nil {
+		return
+	}
+	if _, err := r.br.ReadByte(); err == nil {
+		r.err = fmt.Errorf("%w: trailing data", ErrCorrupt)
+	} else if err != io.EOF {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+}
+
+// Fail records an error discovered by the caller (for example a bad type
+// tag) so it surfaces through Err like any codec error. The first recorded
+// error wins.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}

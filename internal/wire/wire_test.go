@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+func TestAppendMatchesWriter(t *testing.T) {
+	d := hashsig.Sum([]byte("digest"))
+
+	var appended []byte
+	appended = AppendUint32(appended, 7)
+	appended = AppendUint64(appended, 1<<40)
+	appended = AppendBytes(appended, []byte("payload"))
+	appended = AppendString(appended, "key")
+	appended = AppendDigest(appended, d)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint32(7)
+	w.Uint64(1 << 40)
+	w.Bytes([]byte("payload"))
+	w.String("key")
+	w.Digest(d)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended, buf.Bytes()) {
+		t.Fatal("Append* and Writer disagree on encoding")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := hashsig.Sum([]byte("digest"))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint32(42)
+	w.Uint64(1 << 50)
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.String("world")
+	w.Digest(d)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.Uint32(); got != 42 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := r.Uint64(); got != 1<<50 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	if got := r.Bytes(MaxValueLen); string(got) != "hello" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if got := r.Bytes(MaxValueLen); len(got) != 0 {
+		t.Fatalf("empty Bytes = %q", got)
+	}
+	if got := r.String(MaxKeyLen); got != "world" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Digest(); got != d {
+		t.Fatal("Digest mismatch")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0, 0}))
+	r.Uint32()
+	if r.Err() == nil {
+		t.Fatal("truncated uint32 not reported")
+	}
+	// Sticky: further reads stay failed and return zero values.
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("read after error = %d", got)
+	}
+}
+
+func TestReaderLengthLimit(t *testing.T) {
+	var b []byte
+	b = AppendUint32(b, MaxValueLen+1)
+	r := NewReader(bytes.NewReader(b))
+	if got := r.Bytes(MaxValueLen); got != nil {
+		t.Fatal("oversized field decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("oversized field not reported")
+	}
+}
+
+func TestReaderFail(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3, 4}))
+	r.Fail(ErrCorrupt)
+	if r.Err() != ErrCorrupt {
+		t.Fatal("Fail did not stick")
+	}
+	if got := r.Uint32(); got != 0 {
+		t.Fatal("read after Fail succeeded")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < 2000; i++ {
+		w.Uint64(uint64(i)) // overflow the bufio buffer to force the write
+	}
+	if w.Flush() == nil {
+		t.Fatal("writer error not reported")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, ErrCorrupt }
