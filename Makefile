@@ -1,4 +1,5 @@
 GO ?= go
+BENCHTIME ?= 1s
 
 .PHONY: all vet build test race bench check
 
@@ -17,6 +18,8 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem ./...
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > BENCH_pr2.json \
+		|| { tail -5 BENCH_pr2.json; exit 1; }
+	@grep -o '"Output":".*Benchmark[^"]*' BENCH_pr2.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
 check: vet build race

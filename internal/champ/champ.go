@@ -35,6 +35,31 @@ func hashKey(key string) uint64 {
 	return maphash.String(seed, key)
 }
 
+// FNV-1a parameters (64-bit). Shard placement, unlike trie placement, must
+// agree across processes: every replica and auditor assigns a key to the
+// same shard, so the per-process maphash seed cannot be used.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ShardOf returns the shard index of key in a partition of the key space
+// into shards parts (paper §6: partitioned stores). The assignment is
+// deterministic across processes and depends only on the key and the shard
+// count, so replicas, auditors, and restored checkpoints all agree on
+// placement. shards must be >= 1; ShardOf(key, 1) is always 0.
+func ShardOf(key string, shards uint32) uint32 {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return uint32(h % uint64(shards))
+}
+
 // Map is an immutable hash map from string keys to byte-slice values.
 // Construct with Empty; the zero value is not usable.
 type Map struct {
@@ -87,6 +112,20 @@ func (m *Map) Delete(key string) *Map {
 // across replicas must sort (see kv.Store checkpoints).
 func (m *Map) Range(fn func(key string, val []byte) bool) {
 	m.root.rang(fn)
+}
+
+// RangeShard calls fn for every entry whose key lands in the given shard of
+// a shards-way partition (per ShardOf), until fn returns false. Iteration
+// order is trie order, like Range. It is the shard-iteration primitive the
+// key-value layer uses to split an unsharded map into per-shard maps without
+// materializing an intermediate copy of the other shards.
+func (m *Map) RangeShard(shard, shards uint32, fn func(key string, val []byte) bool) {
+	m.root.rang(func(k string, v []byte) bool {
+		if ShardOf(k, shards) != shard {
+			return true
+		}
+		return fn(k, v)
+	})
 }
 
 // RangeSorted calls fn for every entry in ascending key order until fn

@@ -318,3 +318,100 @@ func BenchmarkSet(b *testing.B) {
 		})
 	}
 }
+
+func TestShardOfDeterministic(t *testing.T) {
+	// Known-answer values pin the FNV-1a assignment: any change to the hash
+	// moves keys between shards and invalidates every existing sharded
+	// checkpoint digest d_C, so a change here must be a deliberate,
+	// format-breaking decision — not an accident this test lets through.
+	pinned := []struct {
+		key    string
+		shards uint32
+		want   uint32
+	}{
+		{"", 16, 5}, {"", 64, 37}, {"", 1024, 805},
+		{"alice", 16, 7}, {"alice", 64, 7}, {"alice", 1024, 263},
+		{"bob", 16, 4}, {"bob", 64, 20}, {"bob", 1024, 596},
+		{"account_00000042", 16, 7}, {"account_00000042", 64, 23}, {"account_00000042", 1024, 215},
+	}
+	for _, p := range pinned {
+		if got := ShardOf(p.key, p.shards); got != p.want {
+			t.Fatalf("ShardOf(%q, %d) = %d, want pinned %d: the shard hash changed", p.key, p.shards, got, p.want)
+		}
+	}
+	if got := ShardOf("alice", 1); got != 0 {
+		t.Fatalf("ShardOf(_, 1) = %d, want 0", got)
+	}
+	if got := ShardOf("alice", 0); got != 0 {
+		t.Fatalf("ShardOf(_, 0) = %d, want 0", got)
+	}
+	for _, shards := range []uint32{2, 3, 16, 64} {
+		for i := 0; i < 1000; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			s := ShardOf(k, shards)
+			if s >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", k, shards, s)
+			}
+			if s != ShardOf(k, shards) {
+				t.Fatalf("ShardOf(%q, %d) not deterministic", k, shards)
+			}
+		}
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	const shards = 16
+	counts := make([]int, shards)
+	const n = 16000
+	for i := 0; i < n; i++ {
+		counts[ShardOf(fmt.Sprintf("account_%08d", i), shards)]++
+	}
+	for s, c := range counts {
+		// Expect ~1000 per shard; a shard at <1/4 or >4x of uniform means the
+		// hash is badly skewed for realistic key shapes.
+		if c < n/shards/4 || c > n/shards*4 {
+			t.Fatalf("shard %d holds %d of %d keys: badly skewed", s, c, n)
+		}
+	}
+}
+
+func TestRangeShardPartitions(t *testing.T) {
+	m := Empty()
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		m = m.Set(k, []byte(v))
+		want[k] = v
+	}
+	const shards = 7
+	seen := map[string]string{}
+	for s := uint32(0); s < shards; s++ {
+		m.RangeShard(s, shards, func(k string, v []byte) bool {
+			if ShardOf(k, shards) != s {
+				t.Fatalf("RangeShard(%d) yielded key %q of shard %d", s, k, ShardOf(k, shards))
+			}
+			if _, dup := seen[k]; dup {
+				t.Fatalf("key %q yielded by two shards", k)
+			}
+			seen[k] = string(v)
+			return true
+		})
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("shards yielded %d keys, map holds %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("key %q value %q, want %q", k, seen[k], v)
+		}
+	}
+	// Early exit stops iteration.
+	n := 0
+	m.RangeShard(0, 1, func(string, []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early exit iterated %d entries", n)
+	}
+}

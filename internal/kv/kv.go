@@ -60,7 +60,28 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // Begin starts a transaction. Reads see the current state plus the
 // transaction's own writes; nothing is visible to the store until Commit.
 func (s *Store) Begin() *Tx {
-	return &Tx{store: s, base: s.cur, writes: map[string][]byte{}, deletes: map[string]bool{}}
+	return newTx(&storeTxBackend{store: s, base: s.cur})
+}
+
+// storeTxBackend runs a transaction against an unsharded Store.
+type storeTxBackend struct {
+	store *Store
+	base  *champ.Map
+}
+
+func (b *storeTxBackend) snapshotGet(key string) ([]byte, bool) {
+	return b.base.Get(key)
+}
+
+func (b *storeTxBackend) apply(writes map[string][]byte, deletes map[string]bool) {
+	cur := b.store.cur
+	for k := range deletes {
+		cur = cur.Delete(k)
+	}
+	for k, v := range writes {
+		cur = cur.Set(k, v)
+	}
+	b.store.cur = cur
 }
 
 // Mark records a rollback point labelled seq, capturing the state before
@@ -95,13 +116,35 @@ func (s *Store) PruneMarks(before uint64) {
 	s.marks = keep
 }
 
-// Tx is a single transaction: buffered writes over a snapshot.
+// txBackend is the store side of a transaction: a point-in-time snapshot
+// for reads plus an atomic apply of the buffered effects. Store and
+// ShardedStore both implement it, so application code always sees the same
+// *Tx regardless of how the key space is partitioned.
+type txBackend interface {
+	snapshotGet(key string) ([]byte, bool)
+	apply(writes map[string][]byte, deletes map[string]bool)
+}
+
+// Tx is a single transaction: buffered writes over a snapshot. A finished
+// transaction (Commit or Abort) is dead: every further use panics, so a
+// bug that retains a transaction past its batch is caught immediately
+// instead of silently reading stale state or writing into the void.
 type Tx struct {
-	store   *Store
-	base    *champ.Map
+	back    txBackend
 	writes  map[string][]byte
 	deletes map[string]bool
 	done    bool
+}
+
+func newTx(back txBackend) *Tx {
+	return &Tx{back: back, writes: map[string][]byte{}, deletes: map[string]bool{}}
+}
+
+// active panics if the transaction has already finished.
+func (t *Tx) active(op string) {
+	if t.done {
+		panic("kv: " + op + " on finished transaction")
+	}
 }
 
 // Get reads key, seeing the transaction's own writes first. Like Store.Get
@@ -109,12 +152,13 @@ type Tx struct {
 // buffered writes (mutating a buffered write through the returned slice
 // would change what Commit publishes).
 func (t *Tx) Get(key string) ([]byte, bool) {
+	t.active("Get")
 	if t.deletes[key] {
 		return nil, false
 	}
 	v, ok := t.writes[key]
 	if !ok {
-		v, ok = t.base.Get(key)
+		v, ok = t.back.snapshotGet(key)
 		if !ok {
 			return nil, false
 		}
@@ -124,12 +168,14 @@ func (t *Tx) Get(key string) ([]byte, bool) {
 
 // Put buffers a write. The value is copied.
 func (t *Tx) Put(key string, val []byte) {
+	t.active("Put")
 	delete(t.deletes, key)
 	t.writes[key] = append([]byte(nil), val...)
 }
 
 // Delete buffers a deletion.
 func (t *Tx) Delete(key string) {
+	t.active("Delete")
 	delete(t.writes, key)
 	t.deletes[key] = true
 }
@@ -139,6 +185,7 @@ func (t *Tx) Delete(key string) {
 // transaction entry's result o (§3.1, Fig. 3) so auditors can compare
 // replayed effects without serializing whole values into receipts.
 func (t *Tx) WriteSetDigest() hashsig.Digest {
+	t.active("WriteSetDigest")
 	keys := make([]string, 0, len(t.writes)+len(t.deletes))
 	for k := range t.writes {
 		keys = append(keys, k)
@@ -162,25 +209,14 @@ func (t *Tx) WriteSetDigest() hashsig.Digest {
 
 // Commit applies the buffered effects to the store.
 func (t *Tx) Commit() {
-	if t.done {
-		panic("kv: transaction already finished")
-	}
+	t.active("Commit")
 	t.done = true
-	cur := t.store.cur
-	for k := range t.deletes {
-		cur = cur.Delete(k)
-	}
-	for k, v := range t.writes {
-		cur = cur.Set(k, v)
-	}
-	t.store.cur = cur
+	t.back.apply(t.writes, t.deletes)
 }
 
 // Abort discards the transaction (rollback at transaction granularity).
 func (t *Tx) Abort() {
-	if t.done {
-		panic("kv: transaction already finished")
-	}
+	t.active("Abort")
 	t.done = true
 }
 
@@ -203,14 +239,81 @@ func (s *Store) Serialize(w io.Writer) error {
 	return s.writeSorted(wire.NewWriter(w))
 }
 
-func (s *Store) writeSorted(w *wire.Writer) error {
-	w.Uint64(uint64(s.cur.Len()))
-	s.cur.RangeSorted(func(k string, v []byte) bool {
-		w.String(k)
-		w.Bytes(v)
-		return w.Err() == nil
+// ShardDigest returns the canonical digest of the subset of this store's
+// keys that the given shard of a shards-way partition owns — the same value
+// ShardedStore.ShardDigest reports for that shard when its contents match.
+// An auditor holding a flat replay of the state can thereby pinpoint which
+// shard of a sharded replica diverged, shard by shard, without ever
+// materializing a sharded copy of the whole store.
+func (s *Store) ShardDigest(shard, shards uint32) hashsig.Digest {
+	var entries []sortedEntry
+	s.cur.RangeShard(shard, shards, func(k string, v []byte) bool {
+		entries = append(entries, sortedEntry{key: k, val: v})
+		return true
 	})
+	return digestOfEntries(entries)
+}
+
+func (s *Store) writeSorted(w *wire.Writer) error {
+	encodeMapSorted(w, s.cur)
 	return w.Flush()
+}
+
+// sortedEntry is a (key, value) reference collected while walking a trie,
+// for streaming in canonical order. Values are never copied.
+type sortedEntry struct {
+	key string
+	val []byte
+}
+
+// encodeEntriesSorted sorts entries by key and streams them in the
+// canonical checkpoint form: count, then (key, value) pairs in ascending
+// key order. It is the single definition of that form — flat store
+// serialization, per-shard digests, and cross-audit shard digests all
+// funnel through it, which is what keeps a sharded and an unsharded store
+// byte-compatible over the same contents.
+func encodeEntriesSorted(w *wire.Writer, entries []sortedEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	w.Uint64(uint64(len(entries)))
+	for _, e := range entries {
+		w.String(e.key)
+		w.Bytes(e.val)
+		if w.Err() != nil {
+			return
+		}
+	}
+}
+
+// collectEntries gathers one map's contents as sortedEntry references.
+func collectEntries(dst []sortedEntry, m *champ.Map) []sortedEntry {
+	m.Range(func(k string, v []byte) bool {
+		dst = append(dst, sortedEntry{key: k, val: v})
+		return true
+	})
+	return dst
+}
+
+// encodeMapSorted streams one map in the canonical checkpoint form.
+func encodeMapSorted(w *wire.Writer, m *champ.Map) {
+	encodeEntriesSorted(w, collectEntries(make([]sortedEntry, 0, m.Len()), m))
+}
+
+// digestOfEntries returns the digest of the canonical serialization of the
+// given entries (sorting them in place).
+func digestOfEntries(entries []sortedEntry) hashsig.Digest {
+	h := newDigestWriter()
+	w := wire.NewWriter(h)
+	encodeEntriesSorted(w, entries)
+	if err := w.Flush(); err != nil {
+		// digestWriter never fails.
+		panic(err)
+	}
+	return h.sum()
+}
+
+// digestOfMap returns the digest of one map's canonical serialization.
+func digestOfMap(m *champ.Map) hashsig.Digest {
+	return digestOfEntries(collectEntries(make([]sortedEntry, 0, m.Len()), m))
 }
 
 // Restore replaces the store contents with a stream produced by Serialize.
@@ -218,6 +321,18 @@ func (s *Store) writeSorted(w *wire.Writer) error {
 // so distinct byte streams never restore to the same store.
 func Restore(r io.Reader) (*Store, error) {
 	rd := wire.NewReader(r)
+	m := readMap(rd)
+	rd.ExpectEOF()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("kv: restore: %w", err)
+	}
+	return &Store{cur: m}, nil
+}
+
+// readMap reads one canonical map stream (count + pairs) from rd. Errors
+// stick in the reader; on error the partial map is returned and ignored by
+// callers.
+func readMap(rd *wire.Reader) *champ.Map {
 	n := rd.Uint64()
 	m := champ.Empty()
 	for i := uint64(0); i < n && rd.Err() == nil; i++ {
@@ -227,11 +342,7 @@ func Restore(r io.Reader) (*Store, error) {
 			m = m.Set(k, v)
 		}
 	}
-	rd.ExpectEOF()
-	if err := rd.Err(); err != nil {
-		return nil, fmt.Errorf("kv: restore: %w", err)
-	}
-	return &Store{cur: m}, nil
+	return m
 }
 
 // Snapshot returns an immutable view of the current contents, for replay

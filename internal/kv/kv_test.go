@@ -422,3 +422,40 @@ func TestQuickRollbackRestoresDigest(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Satellite regression: Get/Put/Delete/WriteSetDigest used to silently
+// operate on a finished transaction while only Commit/Abort panicked. All
+// post-finish use now panics consistently.
+func TestTxUseAfterFinishPanics(t *testing.T) {
+	ops := map[string]func(tx *Tx){
+		"Get":            func(tx *Tx) { tx.Get("k") },
+		"Put":            func(tx *Tx) { tx.Put("k", []byte("v")) },
+		"Delete":         func(tx *Tx) { tx.Delete("k") },
+		"WriteSetDigest": func(tx *Tx) { tx.WriteSetDigest() },
+		"Commit":         func(tx *Tx) { tx.Commit() },
+		"Abort":          func(tx *Tx) { tx.Abort() },
+	}
+	for name, op := range ops {
+		for _, finish := range []string{"Commit", "Abort"} {
+			t.Run(name+"-after-"+finish, func(t *testing.T) {
+				for _, store := range []interface{ Begin() *Tx }{NewStore(), NewSharded(4)} {
+					tx := store.Begin()
+					tx.Put("seed", []byte("x"))
+					if finish == "Commit" {
+						tx.Commit()
+					} else {
+						tx.Abort()
+					}
+					func() {
+						defer func() {
+							if recover() == nil {
+								t.Fatalf("%s after %s did not panic", name, finish)
+							}
+						}()
+						op(tx)
+					}()
+				}
+			})
+		}
+	}
+}

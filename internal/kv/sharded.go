@@ -1,0 +1,375 @@
+// ShardedStore partitions the key space across N champ-backed shards
+// (paper §6): each key lives in exactly one shard, chosen by the
+// cross-process-deterministic champ.ShardOf. The payoff is the checkpoint
+// digest d_C: instead of re-hashing the whole store at every checkpoint
+// (O(n)), the store tracks which shards were touched since the last
+// checkpoint and recomputes only those shard digests, then combines the N
+// cached digests into d_C (O(dirty) hashing, O(N) combining).
+//
+// Determinism invariants, matching the unsharded Store:
+//
+//   - identical contents + identical shard count ⇒ identical CheckpointDigest,
+//     regardless of the operation history that produced the state;
+//   - identical contents ⇒ identical Digest (the flat canonical digest),
+//     regardless of shard count — a ShardedStore and a Store holding the
+//     same keys agree byte-for-byte on the canonical serialization.
+package kv
+
+import (
+	"fmt"
+	"io"
+
+	"iaccf/internal/champ"
+	"iaccf/internal/hashsig"
+	"iaccf/internal/wire"
+)
+
+// ckptDomain domain-separates the combined sharded checkpoint digest from
+// plain serialization digests.
+var ckptDomain = []byte("iaccf-ckpt-shards:")
+
+// MaxShards bounds the shard count accepted from configuration and from
+// serialized checkpoints, so a hostile stream cannot drive allocation of
+// millions of empty shards. It is the wire-level stream limit by
+// definition: a store that cannot be framed on the wire must not be
+// constructible, and vice versa.
+const MaxShards = wire.MaxStreamShards
+
+// ShardOfKey returns the shard owning key in a shards-way partition. It is
+// champ's deterministic assignment, re-exported so layers above kv (the
+// ledger's per-shard batch trees, request routing) agree with the store on
+// placement without importing champ directly.
+func ShardOfKey(key string, shards uint32) uint32 { return champ.ShardOf(key, shards) }
+
+// ShardedStore is a transactional key-value store over a sharded key space.
+// Like Store it is single-writer: the replica execution loop owns it.
+type ShardedStore struct {
+	shards  []*champ.Map
+	digests []hashsig.Digest // cached per-shard digests, valid where !dirty
+	dirty   []bool           // shard touched since its digest was cached
+	marks   []shardedMark
+}
+
+// shardedMark captures every shard head plus the digest cache at a batch
+// boundary, so rollback restores both the contents and the incremental
+// checkpoint state in lockstep.
+type shardedMark struct {
+	seq     uint64
+	shards  []*champ.Map
+	digests []hashsig.Digest
+	dirty   []bool
+}
+
+// NewSharded returns an empty store partitioned into the given number of
+// shards. Counts < 1 mean 1 (unsharded); counts above MaxShards panic, as a
+// misconfiguration rather than hostile input.
+func NewSharded(shards int) *ShardedStore {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		panic(fmt.Sprintf("kv: shard count %d exceeds limit %d", shards, MaxShards))
+	}
+	s := &ShardedStore{
+		shards:  make([]*champ.Map, shards),
+		digests: make([]hashsig.Digest, shards),
+		dirty:   make([]bool, shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = champ.Empty()
+		s.dirty[i] = true
+	}
+	return s
+}
+
+// NewShardedFromStore splits an unsharded store into the given number of
+// shards, preserving contents, in one pass over the source (each key is
+// hashed once and routed to its owning shard). This is the migration path
+// for restoring a flat checkpoint into a sharded replica.
+func NewShardedFromStore(src *Store, shards int) *ShardedStore {
+	s := NewSharded(shards)
+	n := uint32(len(s.shards))
+	src.Snapshot().Range(func(k string, v []byte) bool {
+		i := champ.ShardOf(k, n)
+		s.shards[i] = s.shards[i].Set(k, v)
+		return true
+	})
+	return s
+}
+
+// ShardCount returns the number of shards in the partition.
+func (s *ShardedStore) ShardCount() uint32 { return uint32(len(s.shards)) }
+
+// shardFor returns the shard index owning key.
+func (s *ShardedStore) shardFor(key string) int {
+	return int(champ.ShardOf(key, uint32(len(s.shards))))
+}
+
+// Len returns the number of live keys across all shards.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.Len()
+	}
+	return n
+}
+
+// Get reads a key outside any transaction. Like Store.Get, the returned
+// slice is a defensive copy.
+func (s *ShardedStore) Get(key string) ([]byte, bool) {
+	v, ok := s.shards[s.shardFor(key)].Get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Begin starts a transaction spanning all shards: reads see a consistent
+// snapshot of every shard plus the transaction's own writes, and Commit
+// applies the buffered effects to each owning shard atomically (the store
+// is single-writer, so "atomic" means no reader observes a partial apply).
+//
+// The snapshot is the shard-head slice itself, captured by reference:
+// apply never mutates that slice (copy-on-write below), so Begin — the
+// hottest path, paid per transaction by both the primary and the auditor —
+// is O(1) regardless of shard count.
+func (s *ShardedStore) Begin() *Tx {
+	return newTx(&shardedTxBackend{store: s, base: s.shards})
+}
+
+// shardedTxBackend runs a transaction against a ShardedStore.
+type shardedTxBackend struct {
+	store *ShardedStore
+	base  []*champ.Map // shard heads at Begin (immutable once captured)
+}
+
+func (b *shardedTxBackend) snapshotGet(key string) ([]byte, bool) {
+	return b.base[champ.ShardOf(key, uint32(len(b.base)))].Get(key)
+}
+
+// apply publishes the buffered effects copy-on-write: the current shard,
+// digest, and dirty slices are never mutated in place — fresh slices
+// replace them — so every snapshot captured by Begin, Mark, or Clone stays
+// frozen for free. (The only in-place mutation anywhere is the digest
+// cache fill in ShardDigest/CheckpointDigest, which is safe to share: it
+// runs strictly between applies, when every live snapshot has the same
+// shard heads the filled cache describes.)
+func (b *shardedTxBackend) apply(writes map[string][]byte, deletes map[string]bool) {
+	if len(writes) == 0 && len(deletes) == 0 {
+		return
+	}
+	s := b.store
+	shards := append([]*champ.Map(nil), s.shards...)
+	digests := append([]hashsig.Digest(nil), s.digests...)
+	dirty := append([]bool(nil), s.dirty...)
+	for k := range deletes {
+		i := s.shardFor(k)
+		shards[i] = shards[i].Delete(k)
+		dirty[i] = true
+	}
+	for k, v := range writes {
+		i := s.shardFor(k)
+		shards[i] = shards[i].Set(k, v)
+		dirty[i] = true
+	}
+	s.shards, s.digests, s.dirty = shards, digests, dirty
+}
+
+// Mark records a rollback point labelled seq, like Store.Mark. Thanks to
+// copy-on-write applies it captures the three current slices by reference:
+// O(1), like the flat store's single-pointer mark.
+func (s *ShardedStore) Mark(seq uint64) {
+	s.marks = append(s.marks, shardedMark{
+		seq:     seq,
+		shards:  s.shards,
+		digests: s.digests,
+		dirty:   s.dirty,
+	})
+}
+
+// RollbackTo restores the state captured by Mark(seq) — contents and digest
+// cache — and discards that mark and all later ones.
+func (s *ShardedStore) RollbackTo(seq uint64) error {
+	for i := len(s.marks) - 1; i >= 0; i-- {
+		if s.marks[i].seq == seq {
+			m := s.marks[i]
+			s.shards, s.digests, s.dirty = m.shards, m.digests, m.dirty
+			s.marks = s.marks[:i]
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrNoMark, seq)
+}
+
+// PruneMarks drops marks with seq < before.
+func (s *ShardedStore) PruneMarks(before uint64) {
+	keep := s.marks[:0]
+	for _, m := range s.marks {
+		if m.seq >= before {
+			keep = append(keep, m)
+		}
+	}
+	s.marks = keep
+}
+
+// DirtyShards returns how many shards have been touched since their digest
+// was last cached — the work CheckpointDigest will do.
+func (s *ShardedStore) DirtyShards() int {
+	n := 0
+	for _, d := range s.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardDigest returns the canonical digest of one shard's contents,
+// computing and caching it if the shard is dirty. Together with
+// Store.ShardDigest it lets an auditor localize a checkpoint divergence to
+// the shard that diverged instead of just observing that d_C differs.
+func (s *ShardedStore) ShardDigest(i int) hashsig.Digest {
+	if s.dirty[i] {
+		s.digests[i] = digestOfMap(s.shards[i])
+		s.dirty[i] = false
+	}
+	return s.digests[i]
+}
+
+// CheckpointDigest returns the sharded checkpoint digest d_C: the hash of
+// the shard count and every per-shard digest, where each shard digest is
+// the canonical serialization digest of that shard's contents. Only dirty
+// shards are re-hashed; clean shards reuse their cached digest, which is
+// what turns the per-checkpoint cost from O(keys) into O(keys in touched
+// shards). The digest is deterministic: it depends only on contents and
+// shard count, never on which shards happened to be cached.
+func (s *ShardedStore) CheckpointDigest() hashsig.Digest {
+	for i, d := range s.dirty {
+		if d {
+			s.digests[i] = digestOfMap(s.shards[i])
+			s.dirty[i] = false
+		}
+	}
+	return combineShardDigests(s.digests)
+}
+
+// FullRescanDigest recomputes every shard digest from scratch, ignoring the
+// cache. It must always equal CheckpointDigest; it exists as the oracle for
+// tests and as the full-rescan baseline for benchmarks.
+func (s *ShardedStore) FullRescanDigest() hashsig.Digest {
+	digests := make([]hashsig.Digest, len(s.shards))
+	for i, m := range s.shards {
+		digests[i] = digestOfMap(m)
+	}
+	return combineShardDigests(digests)
+}
+
+// combineShardDigests hashes the shard digest vector into d_C. The shard
+// count is included so the same contents under a different partition can
+// never alias: d_C commits to the execution configuration the header's
+// shard-count field declares.
+func combineShardDigests(digests []hashsig.Digest) hashsig.Digest {
+	h := hashsig.NewHasher()
+	h.Write(ckptDomain)
+	h.Write(wire.AppendUint32(nil, uint32(len(digests))))
+	for i := range digests {
+		h.Write(digests[i][:])
+	}
+	var out hashsig.Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// Digest returns the flat canonical digest of the full contents — the same
+// value an unsharded Store with identical contents returns from
+// Store.Digest. It rescans everything (O(n)); checkpointing uses
+// CheckpointDigest instead. It exists so sharded and unsharded stores can
+// be compared for state equality independent of partitioning.
+func (s *ShardedStore) Digest() hashsig.Digest {
+	h := newDigestWriter()
+	w := wire.NewWriter(h)
+	s.encodeSortedFlat(w)
+	if err := w.Flush(); err != nil {
+		// digestWriter never fails.
+		panic(err)
+	}
+	return h.sum()
+}
+
+// encodeSortedFlat streams the union of all shards in canonical flat form
+// (count, then globally key-sorted pairs) — byte-identical to
+// Store.Serialize over the same contents.
+func (s *ShardedStore) encodeSortedFlat(w *wire.Writer) {
+	entries := make([]sortedEntry, 0, s.Len())
+	for _, m := range s.shards {
+		entries = collectEntries(entries, m)
+	}
+	encodeEntriesSorted(w, entries)
+}
+
+// Serialize writes the sharded checkpoint: the shard count, then each
+// shard's canonical stream in shard order. Shard placement is deterministic,
+// so two stores with identical contents and shard count serialize
+// identically.
+func (s *ShardedStore) Serialize(w io.Writer) error {
+	ww := wire.NewWriter(w)
+	ww.Uint32(uint32(len(s.shards)))
+	for _, m := range s.shards {
+		encodeMapSorted(ww, m)
+	}
+	return ww.Flush()
+}
+
+// RestoreSharded replaces a store with a stream produced by Serialize. Every
+// key is checked against its declared shard: a stream that smuggles a key
+// into the wrong shard is rejected, so distinct logical states can never
+// restore to equal checkpoint digests.
+func RestoreSharded(r io.Reader) (*ShardedStore, error) {
+	rd := wire.NewReader(r)
+	n := rd.Uint32()
+	if rd.Err() == nil && (n < 1 || n > MaxShards) {
+		return nil, fmt.Errorf("kv: restore: %w: shard count %d", wire.ErrCorrupt, n)
+	}
+	if rd.Err() != nil {
+		return nil, fmt.Errorf("kv: restore: %w", rd.Err())
+	}
+	s := NewSharded(int(n))
+	for i := range s.shards {
+		m := readMap(rd)
+		if rd.Err() != nil {
+			break
+		}
+		bad := false
+		m.Range(func(k string, _ []byte) bool {
+			if champ.ShardOf(k, n) != uint32(i) {
+				rd.Fail(fmt.Errorf("%w: key %q in shard %d, belongs to %d", wire.ErrCorrupt, k, i, champ.ShardOf(k, n)))
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			break
+		}
+		s.shards[i] = m
+	}
+	rd.ExpectEOF()
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("kv: restore: %w", err)
+	}
+	return s, nil
+}
+
+// Clone returns an independent store with the same contents and digest
+// cache (O(shards)).
+func (s *ShardedStore) Clone() *ShardedStore {
+	return &ShardedStore{
+		shards:  append([]*champ.Map(nil), s.shards...),
+		digests: append([]hashsig.Digest(nil), s.digests...),
+		dirty:   append([]bool(nil), s.dirty...),
+	}
+}
+
+// ShardSnapshot returns the immutable map backing one shard, for replay
+// comparisons and shard-level auditing.
+func (s *ShardedStore) ShardSnapshot(i int) *champ.Map { return s.shards[i] }

@@ -1,0 +1,500 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iaccf/internal/champ"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded(8)
+	if s.ShardCount() != 8 {
+		t.Fatalf("shard count %d", s.ShardCount())
+	}
+	tx := s.Begin()
+	tx.Put("alice", []byte("100"))
+	tx.Put("bob", []byte("50"))
+	if v, ok := tx.Get("alice"); !ok || string(v) != "100" {
+		t.Fatal("tx does not see own write")
+	}
+	if _, ok := s.Get("alice"); ok {
+		t.Fatal("uncommitted write visible")
+	}
+	tx.Commit()
+	if v, ok := s.Get("alice"); !ok || string(v) != "100" {
+		t.Fatal("committed write not visible")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	tx = s.Begin()
+	tx.Delete("alice")
+	tx.Commit()
+	if _, ok := s.Get("alice"); ok {
+		t.Fatal("deleted key visible")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after delete", s.Len())
+	}
+}
+
+func TestShardedSnapshotIsolation(t *testing.T) {
+	s := NewSharded(4)
+	tx := s.Begin()
+	tx.Put("k", []byte("v1"))
+	tx.Commit()
+
+	// A transaction begun now must not see writes committed after it began.
+	reader := s.Begin()
+	writer := s.Begin()
+	writer.Put("k", []byte("v2"))
+	writer.Commit()
+	if v, _ := reader.Get("k"); string(v) != "v1" {
+		t.Fatalf("snapshot read %q, want v1", v)
+	}
+	reader.Abort()
+	if v, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatal("later commit lost")
+	}
+}
+
+// applyRandom drives the same pseudo-random workload against any set of
+// stores sharing the Begin/Tx interface.
+type txStore interface {
+	Begin() *Tx
+}
+
+func applyRandom(rng *rand.Rand, ops int, stores ...txStore) {
+	for i := 0; i < ops; i++ {
+		txs := make([]*Tx, len(stores))
+		for j, s := range stores {
+			txs[j] = s.Begin()
+		}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			key := fmt.Sprintf("key-%d", rng.Intn(200))
+			if rng.Intn(5) == 0 {
+				for _, tx := range txs {
+					tx.Delete(key)
+				}
+			} else {
+				val := []byte(fmt.Sprintf("val-%d", rng.Int()))
+				for _, tx := range txs {
+					tx.Put(key, val)
+				}
+			}
+		}
+		for _, tx := range txs {
+			tx.Commit()
+		}
+	}
+}
+
+// The satellite property: sharded and unsharded stores fed identical random
+// workloads produce identical canonical digests, and the sharded store's
+// incremental checkpoint digest always equals a from-scratch recomputation.
+func TestQuickShardedMatchesUnsharded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flat := NewStore()
+		counts := []int{1, 2, 7, 16}
+		sharded := make([]*ShardedStore, len(counts))
+		stores := []txStore{flat}
+		for i, n := range counts {
+			sharded[i] = NewSharded(n)
+			stores = append(stores, sharded[i])
+		}
+		applyRandom(rng, 40, stores...)
+
+		want := flat.Digest()
+		for i, s := range sharded {
+			if s.Len() != flat.Len() {
+				t.Logf("shards=%d: len %d != %d", counts[i], s.Len(), flat.Len())
+				return false
+			}
+			// Flat digest is partition-independent.
+			if s.Digest() != want {
+				t.Logf("shards=%d: flat digest diverges from unsharded store", counts[i])
+				return false
+			}
+			// Incremental == full rescan.
+			if s.CheckpointDigest() != s.FullRescanDigest() {
+				t.Logf("shards=%d: incremental checkpoint digest != full rescan", counts[i])
+				return false
+			}
+			// Identical state reached by a different history (restore) gives
+			// an identical checkpoint digest.
+			var buf bytes.Buffer
+			if err := s.Serialize(&buf); err != nil {
+				t.Log(err)
+				return false
+			}
+			restored, err := RestoreSharded(&buf)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if restored.CheckpointDigest() != s.CheckpointDigest() {
+				t.Logf("shards=%d: restored checkpoint digest diverges", counts[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCheckpointDigestBindsShardCount(t *testing.T) {
+	a, b := NewSharded(4), NewSharded(8)
+	for _, s := range []*ShardedStore{a, b} {
+		tx := s.Begin()
+		tx.Put("k", []byte("v"))
+		tx.Commit()
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("flat digest must not depend on shard count")
+	}
+	if a.CheckpointDigest() == b.CheckpointDigest() {
+		t.Fatal("checkpoint digest must commit to the shard count")
+	}
+}
+
+func TestShardedDirtyTracking(t *testing.T) {
+	s := NewSharded(16)
+	for i := 0; i < 200; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+		tx.Commit()
+	}
+	d1 := s.CheckpointDigest()
+	if got := s.DirtyShards(); got != 0 {
+		t.Fatalf("%d dirty shards after checkpoint", got)
+	}
+	// An untouched store re-checkpoints to the same digest with zero work.
+	if s.CheckpointDigest() != d1 {
+		t.Fatal("checkpoint digest unstable with no writes")
+	}
+	// One write dirties exactly the owning shard.
+	tx := s.Begin()
+	tx.Put("key-0", []byte("changed"))
+	tx.Commit()
+	if got := s.DirtyShards(); got != 1 {
+		t.Fatalf("one write dirtied %d shards", got)
+	}
+	d2 := s.CheckpointDigest()
+	if d2 == d1 {
+		t.Fatal("changed contents, same checkpoint digest")
+	}
+	if d2 != s.FullRescanDigest() {
+		t.Fatal("incremental digest diverged from full rescan")
+	}
+	// Deleting restores the exact prior... no — contents differ (key-0
+	// changed). Restore the original value and digests must converge again.
+	tx = s.Begin()
+	tx.Put("key-0", []byte("v"))
+	tx.Commit()
+	if s.CheckpointDigest() != d1 {
+		t.Fatal("identical state, different checkpoint digest")
+	}
+}
+
+func TestShardedMarksRollbackRestoresDigestCache(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 50; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		tx.Commit()
+	}
+	d1 := s.CheckpointDigest()
+	s.Mark(10)
+	for i := 0; i < 50; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("k%d", i), []byte("other"))
+		tx.Commit()
+	}
+	if s.CheckpointDigest() == d1 {
+		t.Fatal("mutated store kept the old digest")
+	}
+	if err := s.RollbackTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CheckpointDigest(); got != d1 {
+		t.Fatal("rollback did not restore the checkpoint digest")
+	}
+	if s.CheckpointDigest() != s.FullRescanDigest() {
+		t.Fatal("post-rollback cache inconsistent with contents")
+	}
+	if err := s.RollbackTo(10); err == nil {
+		t.Fatal("consumed mark usable")
+	}
+}
+
+// Rollback across checkpoint boundaries interacting with PruneMarks: marks
+// before the prune point die, later marks stay usable, and the digest cache
+// survives the round trip (satellite of the sharded-execution issue).
+func TestShardedRollbackAcrossCheckpointsWithPrune(t *testing.T) {
+	s := NewSharded(4)
+	digests := map[uint64][32]byte{}
+	for seq := uint64(1); seq <= 6; seq++ {
+		s.Mark(seq)
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("batch-%d", seq), []byte("x"))
+		tx.Commit()
+		if seq%2 == 0 { // checkpoint boundary every 2 batches
+			digests[seq] = s.CheckpointDigest()
+		}
+	}
+	s.PruneMarks(3)
+	if err := s.RollbackTo(2); err == nil {
+		t.Fatal("pruned mark usable")
+	}
+	if err := s.RollbackTo(5); err != nil {
+		t.Fatal(err)
+	}
+	// State is now "just before batch 5", i.e. right after the seq-4
+	// checkpoint: recomputing must reproduce that checkpoint's digest.
+	if got := s.CheckpointDigest(); got != digests[4] {
+		t.Fatal("rollback across checkpoint boundary lost the checkpointed state")
+	}
+	if err := s.RollbackTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.CheckpointDigest(), s.FullRescanDigest(); got != want {
+		t.Fatal("digest cache corrupt after prune+rollback")
+	}
+}
+
+func TestShardedSerializeRestore(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 300; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("key-%04d", i), bytes.Repeat([]byte{byte(i)}, i%16))
+		tx.Commit()
+	}
+	var buf bytes.Buffer
+	if err := s.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSharded(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() || restored.ShardCount() != s.ShardCount() {
+		t.Fatal("restored shape differs")
+	}
+	if restored.CheckpointDigest() != s.CheckpointDigest() {
+		t.Fatal("restored checkpoint digest differs")
+	}
+	if restored.Digest() != s.Digest() {
+		t.Fatal("restored flat digest differs")
+	}
+	// Round trip is canonical.
+	var again bytes.Buffer
+	if err := restored.Serialize(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("serialize -> restore -> serialize not byte-identical")
+	}
+}
+
+func TestRestoreShardedRejectsCorrupt(t *testing.T) {
+	if _, err := RestoreSharded(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream restored")
+	}
+	// Zero shards.
+	if _, err := RestoreSharded(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	// Hostile shard count.
+	if _, err := RestoreSharded(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("huge shard count accepted")
+	}
+	s := NewSharded(4)
+	tx := s.Begin()
+	tx.Put("some-key", []byte("v"))
+	tx.Commit()
+	var buf bytes.Buffer
+	if err := s.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing data.
+	bad := append(append([]byte(nil), buf.Bytes()...), 0x00)
+	if _, err := RestoreSharded(bytes.NewReader(bad)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	// A key declared in the wrong shard: craft a 2-shard stream putting a
+	// key into the shard it does not hash to.
+	key := "some-key"
+	wrong := 1 - champ.ShardOf(key, 2)
+	var crafted bytes.Buffer
+	crafted.Write([]byte{0, 0, 0, 2})
+	for i := uint32(0); i < 2; i++ {
+		if i == wrong {
+			crafted.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // one entry
+			crafted.Write([]byte{0, 0, 0, byte(len(key))})
+			crafted.WriteString(key)
+			crafted.Write([]byte{0, 0, 0, 1, 'v'})
+		} else {
+			crafted.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // empty shard
+		}
+	}
+	if _, err := RestoreSharded(bytes.NewReader(crafted.Bytes())); err == nil {
+		t.Fatal("key smuggled into the wrong shard accepted")
+	}
+}
+
+func TestNewShardedFromStore(t *testing.T) {
+	flat := NewStore()
+	for i := 0; i < 400; i++ {
+		tx := flat.Begin()
+		tx.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+		tx.Commit()
+	}
+	s := NewShardedFromStore(flat, 8)
+	if s.Len() != flat.Len() {
+		t.Fatalf("split lost keys: %d != %d", s.Len(), flat.Len())
+	}
+	if s.Digest() != flat.Digest() {
+		t.Fatal("split changed the canonical digest")
+	}
+	// Migration equals native construction.
+	native := NewSharded(8)
+	flat.Snapshot().Range(func(k string, v []byte) bool {
+		tx := native.Begin()
+		tx.Put(k, v)
+		tx.Commit()
+		return true
+	})
+	if s.CheckpointDigest() != native.CheckpointDigest() {
+		t.Fatal("migrated store diverges from natively built store")
+	}
+}
+
+func TestShardedClone(t *testing.T) {
+	s := NewSharded(4)
+	tx := s.Begin()
+	tx.Put("a", []byte("1"))
+	tx.Commit()
+	c := s.Clone()
+	tx = c.Begin()
+	tx.Put("a", []byte("2"))
+	tx.Commit()
+	if v, _ := s.Get("a"); string(v) != "1" {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Fatal("clone did not take write")
+	}
+	if s.CheckpointDigest() == c.CheckpointDigest() {
+		t.Fatal("diverged clones share a digest")
+	}
+}
+
+func TestShardedGetReturnsDefensiveCopy(t *testing.T) {
+	s := NewSharded(4)
+	tx := s.Begin()
+	tx.Put("k", []byte("original"))
+	tx.Commit()
+	before := s.CheckpointDigest()
+	v, _ := s.Get("k")
+	copy(v, "CLOBBER!")
+	if got, _ := s.Get("k"); string(got) != "original" {
+		t.Fatal("mutating Get result corrupted the store")
+	}
+	if s.FullRescanDigest() != before {
+		t.Fatal("mutating Get result changed the digest")
+	}
+}
+
+func TestNewShardedBounds(t *testing.T) {
+	if got := NewSharded(0).ShardCount(); got != 1 {
+		t.Fatalf("NewSharded(0) has %d shards", got)
+	}
+	if got := NewSharded(-3).ShardCount(); got != 1 {
+		t.Fatalf("NewSharded(-3) has %d shards", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized shard count did not panic")
+		}
+	}()
+	NewSharded(MaxShards + 1)
+}
+
+// Shard-level cross-auditing: a flat store can compute any one shard's
+// digest of its own contents and match the sharded replica's cached value,
+// localizing a divergence to the shard that caused it.
+func TestShardDigestCrossAudit(t *testing.T) {
+	flat := NewStore()
+	sharded := NewSharded(8)
+	rng := rand.New(rand.NewSource(7))
+	applyRandom(rng, 30, flat, sharded)
+	for i := 0; i < 8; i++ {
+		if flat.ShardDigest(uint32(i), 8) != sharded.ShardDigest(i) {
+			t.Fatalf("shard %d digest diverges between flat and sharded views", i)
+		}
+	}
+	// Diverge one key; exactly its owning shard's digest must differ.
+	tx := sharded.Begin()
+	tx.Put("poisoned", []byte("x"))
+	tx.Commit()
+	bad := int(ShardOfKey("poisoned", 8))
+	for i := 0; i < 8; i++ {
+		same := flat.ShardDigest(uint32(i), 8) == sharded.ShardDigest(i)
+		if i == bad && same {
+			t.Fatal("divergent shard not detected")
+		}
+		if i != bad && !same {
+			t.Fatalf("clean shard %d flagged as divergent", i)
+		}
+	}
+}
+
+// Copy-on-write regression: a digest-cache fill between Mark and later
+// writes mutates slices the mark shares by reference; that sharing must
+// stay consistent because fills describe the same shard heads, while
+// writes must never reach a mark's snapshot.
+func TestShardedMarkSharesCacheSafely(t *testing.T) {
+	s := NewSharded(8)
+	for i := 0; i < 40; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		tx.Commit()
+	}
+	s.Mark(1)
+	d1 := s.CheckpointDigest() // fills the cache the mark shares
+	for i := 0; i < 40; i++ {
+		tx := s.Begin()
+		tx.Put(fmt.Sprintf("k%d", i), []byte("other"))
+		tx.Commit()
+	}
+	if s.CheckpointDigest() == d1 {
+		t.Fatal("writes invisible to the digest")
+	}
+	if err := s.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CheckpointDigest(); got != d1 {
+		t.Fatal("mark snapshot was corrupted by post-mark writes or cache fills")
+	}
+	if s.CheckpointDigest() != s.FullRescanDigest() {
+		t.Fatal("restored cache inconsistent with restored contents")
+	}
+	// Read-only and aborted transactions never trigger a copy; the
+	// snapshot a reader captured before a commit stays frozen.
+	reader := s.Begin()
+	v1, _ := reader.Get("k0")
+	w := s.Begin()
+	w.Put("k0", []byte("newer"))
+	w.Commit()
+	if v2, _ := reader.Get("k0"); string(v2) != string(v1) {
+		t.Fatal("reader snapshot observed a later commit")
+	}
+	reader.Abort()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"iaccf/internal/hashsig"
 	"iaccf/internal/kv"
@@ -28,15 +29,20 @@ var headerDomain = []byte("iaccf-batch-header:")
 
 // BatchHeader is the signed commitment a replica issues for one executed
 // batch. It binds the batch sequence number, the history tree root ¯M
-// after the batch, the per-batch tree root ¯G and its leaf count, and the
-// digest d_C of the latest checkpoint (paper §3.1: the signed part of a
-// pre-prepare).
+// after the batch, the combined batch tree root ¯G with its entry count and
+// the shard count it was built under, and the digest d_C of the latest
+// checkpoint (paper §3.1: the signed part of a pre-prepare; §6: sharded
+// execution). ¯G is the root of a small tree over the per-shard batch tree
+// roots G_s, so the shard count is part of what the signature commits to —
+// the same entries partitioned differently produce a different ¯G and a
+// different d_C.
 type BatchHeader struct {
 	Seq        uint64         // batch sequence number
 	HistSize   uint64         // leaves in M after this batch
 	MRoot      hashsig.Digest // ¯M
-	GRoot      hashsig.Digest // ¯G
-	GSize      uint64         // entries under G (audit path width)
+	GRoot      hashsig.Digest // ¯G: root over the G_s shard roots
+	GSize      uint64         // total entries under G across all shards
+	Shards     uint32         // execution shard count (>= 1)
 	CkptDigest hashsig.Digest // d_C of the latest checkpoint (zero before the first)
 	Sig        hashsig.Signature
 }
@@ -51,6 +57,7 @@ func (h *BatchHeader) writeSignedFields(w *wire.Writer) {
 	w.Digest(h.MRoot)
 	w.Digest(h.GRoot)
 	w.Uint64(h.GSize)
+	w.Uint32(h.Shards)
 	w.Digest(h.CkptDigest)
 }
 
@@ -60,6 +67,7 @@ func (h *BatchHeader) readSignedFields(r *wire.Reader) {
 	h.MRoot = r.Digest()
 	h.GRoot = r.Digest()
 	h.GSize = r.Uint64()
+	h.Shards = r.Uint32()
 	h.CkptDigest = r.Digest()
 }
 
@@ -90,22 +98,35 @@ type Batch struct {
 }
 
 // Receipt is the client's offline-verifiable proof that its transaction
-// executed in a given batch: the transaction entry, its audit path in the
-// batch tree G, and the signed header the path roots in (paper §3.1).
+// executed in a given batch: the transaction entry, its two-stage audit
+// path, and the signed header the path roots in (paper §3.1, §6). The path
+// prefix proves the entry within its per-shard batch tree G_s; the suffix
+// proves that shard root within the combined tree whose root ¯G the header
+// signs. The split point is implied by (Index, ShardSize), never declared.
+//
+// Shard, Index, and ShardSize are position metadata, not signed: what the
+// signature plus leaf/interior domain separation bind is that this exact
+// entry is committed under ¯G. A replica could emit aliasing position
+// metadata whose roll-up shape happens to coincide, but never a different
+// entry or a different root, so receipts stay sound as execution proofs.
 type Receipt struct {
-	Header BatchHeader
-	Entry  Entry
-	Index  uint64 // leaf index of Entry in G
-	Path   []hashsig.Digest
+	Header    BatchHeader
+	Entry     Entry
+	Shard     uint32 // shard tree the entry was placed in
+	Index     uint64 // leaf index of Entry within its shard tree
+	ShardSize uint64 // leaves in that shard tree
+	Path      []hashsig.Digest
 }
 
 // Verify checks the receipt against the replica public key: the header
-// signature must be valid and the entry's audit path must root in ¯G.
+// signature must be valid and the entry's sharded audit path must root in
+// ¯G under the header's signed shard count.
 func (r *Receipt) Verify(pub *hashsig.PublicKey) bool {
 	if !r.Header.Verify(pub) {
 		return false
 	}
-	return merkle.VerifyPath(r.Entry.Digest(), r.Index, r.Header.GSize, r.Path, r.Header.GRoot)
+	return merkle.VerifyShardedPath(r.Entry.Digest(), r.Index, r.ShardSize,
+		uint64(r.Shard), uint64(r.Header.Shards), r.Path, r.Header.GRoot)
 }
 
 // Request is one client or member submission awaiting execution.
@@ -130,8 +151,13 @@ type Config struct {
 	// App executes transaction payloads. Required.
 	App App
 	// CheckpointEvery takes a state checkpoint (and appends a checkpoint
-	// marker entry) every n batches. 0 means every batch.
+	// marker entry) every n batches. 0 means every batch. Validated and
+	// normalized once in New.
 	CheckpointEvery uint64
+	// Shards partitions the key-value store and the per-batch trees into
+	// this many shards (paper §6). 0 means 1 (unsharded). Must not exceed
+	// kv.MaxShards.
+	Shards uint32
 }
 
 // Ledger executes batches of requests against a key-value store while
@@ -139,7 +165,7 @@ type Config struct {
 // receipts. It is single-writer, like the replica execution loop it models.
 type Ledger struct {
 	cfg      Config
-	store    *kv.Store
+	store    *kv.ShardedStore
 	hist     *merkle.Tree
 	nextSeq  uint64
 	lastCkpt hashsig.Digest
@@ -156,15 +182,27 @@ type ledgerMark struct {
 	lastCkpt hashsig.Digest
 }
 
-// New returns a ledger executing against a fresh store. The first batch
-// has sequence number 1.
+// New returns a ledger executing against a fresh sharded store. The first
+// batch has sequence number 1. Configuration is validated here, once:
+// CheckpointEvery and Shards are normalized (0 → 1) so the execution path
+// never re-checks them, and an out-of-range shard count is an error rather
+// than a latent panic.
 func New(cfg Config) (*Ledger, error) {
 	if cfg.Key == nil || cfg.App == nil {
 		return nil, ErrConfig
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > kv.MaxShards {
+		return nil, fmt.Errorf("%w: shard count %d exceeds limit %d", ErrConfig, cfg.Shards, kv.MaxShards)
+	}
 	return &Ledger{
 		cfg:     cfg,
-		store:   kv.NewStore(),
+		store:   kv.NewSharded(int(cfg.Shards)),
 		hist:    merkle.New(),
 		nextSeq: 1,
 	}, nil
@@ -179,27 +217,87 @@ func (l *Ledger) HistRoot() hashsig.Digest { return l.hist.Root() }
 // HistSize returns the number of entries in the history tree.
 func (l *Ledger) HistSize() uint64 { return l.hist.Size() }
 
-// StateDigest returns the deterministic digest of the current store state.
-func (l *Ledger) StateDigest() hashsig.Digest { return l.store.Digest() }
+// StateDigest returns the deterministic sharded digest of the current store
+// state — the d_C a checkpoint taken now would pin. Clean shards reuse
+// cached digests, so this is cheap between checkpoints.
+func (l *Ledger) StateDigest() hashsig.Digest { return l.store.CheckpointDigest() }
+
+// Shards returns the execution shard count.
+func (l *Ledger) Shards() uint32 { return l.cfg.Shards }
 
 // Get reads a key from the executed state.
 func (l *Ledger) Get(key string) ([]byte, bool) { return l.store.Get(key) }
 
 // Batches returns the emitted batch stream since genesis (or the last
-// rollback), oldest first. The slice is shared; callers must not mutate.
-func (l *Ledger) Batches() []*Batch { return l.batches }
+// rollback), oldest first, as a fresh slice: appending to or reordering the
+// result cannot disturb the ledger's retained history. The batches
+// themselves are shared and must be treated as immutable (deep-copying
+// every payload on each call would make auditing quadratic).
+func (l *Ledger) Batches() []*Batch {
+	return append([]*Batch(nil), l.batches...)
+}
 
-// ExecuteBatch executes the requests as one batch: each transaction runs
-// in its own kv transaction (aborting individually on error), every
-// resulting entry is appended to M and to a fresh batch tree G, a
-// checkpoint marker is appended when due, and the signed header plus one
+// entryShard deterministically assigns a ledger entry to a per-shard batch
+// tree G_s. Transactions and governance actions are routed by author — the
+// request-routing analogue of the paper's key-space partitioning, chosen so
+// an auditor can re-derive the placement from the entry alone (a write-set
+// based placement would be undefined for aborted transactions). Checkpoint
+// markers always live in shard 0.
+func entryShard(e *Entry, shards uint32) uint32 {
+	if shards <= 1 || e.Kind == KindCheckpoint {
+		return 0
+	}
+	return kv.ShardOfKey(string(e.Author[:]), shards)
+}
+
+// hashJob hands one completed entry from the execution stage to the hashing
+// stage. The pointer is stable: the entries slice is allocated with its
+// final capacity up front, so appends never move the backing array.
+type hashJob struct {
+	idx int
+	e   *Entry
+}
+
+// ExecuteBatch executes the requests as one batch through a two-stage
+// pipeline (paper §6). The execution stage runs each transaction in its own
+// kv transaction against the sharded store (aborting individually on
+// error); as each entry completes it is handed to a concurrent hashing
+// stage that computes entry digests while later transactions are still
+// executing. The digests are then grouped into per-shard batch trees G_s
+// whose roots combine into the single ¯G the header signs; every entry is
+// appended to M in ledger order, a checkpoint marker (with the incremental
+// sharded digest d_C) is appended when due, and the signed header plus one
 // receipt per transaction entry are returned.
 func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	seq := l.nextSeq
 	l.store.Mark(seq)
 	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
 
-	entries := make([]Entry, 0, len(reqs)+1)
+	// Stage 2 (hashing) consumes completed entries concurrently with stage 1
+	// (execution). Entry digesting hashes full payloads — for large batches
+	// this is comparable to execution itself, and the two overlap here.
+	maxEntries := len(reqs) + 1 // every request plus at most one checkpoint marker
+	entries := make([]Entry, 0, maxEntries)
+	digests := make([]hashsig.Digest, maxEntries)
+	jobs := make(chan hashJob, maxEntries)
+	hashed := make(chan struct{})
+	go func() {
+		defer close(hashed)
+		for j := range jobs {
+			digests[j.idx] = j.e.Digest()
+		}
+	}()
+	// If anything below panics (a buggy App retaining a finished Tx, say),
+	// the deferred close still releases the hashing goroutine; the mark
+	// pushed above stays, so a caller that recovers can RollbackTo(seq) to
+	// discard the half-executed batch.
+	closeJobs := sync.OnceFunc(func() { close(jobs) })
+	defer closeJobs()
+	emit := func() {
+		i := len(entries) - 1
+		jobs <- hashJob{idx: i, e: &entries[i]}
+	}
+
 	txIdx := make([]int, 0, len(reqs))
 	for _, req := range reqs {
 		if req.Governance {
@@ -208,6 +306,7 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 				Author:  req.Author,
 				Payload: append([]byte(nil), req.Body...),
 			})
+			emit()
 			continue
 		}
 		e := Entry{
@@ -228,29 +327,48 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		}
 		txIdx = append(txIdx, len(entries))
 		entries = append(entries, e)
+		emit()
 	}
 
-	every := l.cfg.CheckpointEvery
-	if every == 0 {
-		every = 1
-	}
-	if seq%every == 0 {
-		d := l.store.Digest()
+	if seq%l.cfg.CheckpointEvery == 0 {
+		// Incremental d_C: only shards touched since the last checkpoint are
+		// re-hashed (the refactor's perf win over the old full rescan).
+		d := l.store.CheckpointDigest()
 		entries = append(entries, Entry{Kind: KindCheckpoint, Seq: seq, State: d})
+		emit()
 		l.lastCkpt = d
 	}
+	closeJobs()
+	<-hashed
 
-	digests := make([]hashsig.Digest, len(entries))
+	shards := l.cfg.Shards
+	shardOf := make([]uint32, len(entries))
+	leafPos := make([]uint64, len(entries))
+	perShard := make([][]hashsig.Digest, shards)
 	for i := range entries {
-		digests[i] = entries[i].Digest()
+		s := entryShard(&entries[i], shards)
+		shardOf[i] = s
+		leafPos[i] = uint64(len(perShard[s]))
+		perShard[s] = append(perShard[s], digests[i])
 	}
-	g := merkle.New()
-	_, gRoot, paths, err := g.AppendAndProve(digests)
+	shardRoots := make([]hashsig.Digest, shards)
+	shardPaths := make([][][]hashsig.Digest, shards)
+	for s := range perShard {
+		g := merkle.New()
+		_, root, paths, err := g.AppendAndProve(perShard[s])
+		if err != nil {
+			// A fresh tree over in-range leaves cannot fail.
+			panic(err)
+		}
+		shardRoots[s] = root
+		shardPaths[s] = paths
+	}
+	top := merkle.New()
+	_, gRoot, topPaths, err := top.AppendAndProve(shardRoots)
 	if err != nil {
-		// A fresh tree over in-range leaves cannot fail.
 		panic(err)
 	}
-	for _, d := range digests {
+	for _, d := range digests[:len(entries)] {
 		l.hist.Append(d)
 	}
 
@@ -260,6 +378,7 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		MRoot:      l.hist.Root(),
 		GRoot:      gRoot,
 		GSize:      uint64(len(entries)),
+		Shards:     shards,
 		CkptDigest: l.lastCkpt,
 	}
 	header.Sig = l.cfg.Key.MustSign(header.SigningDigest())
@@ -271,11 +390,16 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		// The payload slice is otherwise shared with the retained batch: a
 		// client mutating its receipt must not corrupt the ledger's stream.
 		e.Payload = append([]byte(nil), e.Payload...)
+		s := shardOf[idx]
+		path := append([]hashsig.Digest(nil), shardPaths[s][leafPos[idx]]...)
+		path = append(path, topPaths[s]...)
 		receipts[i] = Receipt{
-			Header: header,
-			Entry:  e,
-			Index:  uint64(idx),
-			Path:   paths[idx],
+			Header:    header,
+			Entry:     e,
+			Shard:     s,
+			Index:     leafPos[idx],
+			ShardSize: uint64(len(perShard[s])),
+			Path:      path,
 		}
 	}
 	l.batches = append(l.batches, batch)
@@ -328,10 +452,24 @@ func (l *Ledger) PruneMarks(before uint64) {
 	l.marks = keep
 }
 
-// WriteBatches serializes a batch stream: count, then each batch's header
-// and entries in the wire codec.
+// WriteBatches serializes a batch stream: the versioned stream header
+// (carrying the execution shard count), then the batch count, then each
+// batch's header and entries in the wire codec. Every batch must have been
+// built under the same shard count — a mixed stream is a caller bug and is
+// rejected rather than silently framed under the first batch's count.
 func WriteBatches(w io.Writer, batches []*Batch) error {
+	shards := uint32(1)
+	for i, b := range batches {
+		if i == 0 {
+			shards = b.Header.Shards
+		} else if b.Header.Shards != shards {
+			return fmt.Errorf("%w: batch %d built under %d shards, stream under %d",
+				ErrBadBatch, b.Header.Seq, b.Header.Shards, shards)
+		}
+	}
 	ww := wire.NewWriter(w)
+	sh := wire.StreamHeader{Version: wire.StreamVCurrent, Shards: shards}
+	sh.EncodeTo(ww)
 	ww.Uint32(uint32(len(batches)))
 	for _, b := range batches {
 		b.Header.writeSignedFields(ww)
@@ -344,9 +482,14 @@ func WriteBatches(w io.Writer, batches []*Batch) error {
 	return ww.Flush()
 }
 
-// ReadBatches parses a stream produced by WriteBatches.
+// ReadBatches parses a stream produced by WriteBatches, checking that every
+// batch header agrees with the stream header's shard count.
 func ReadBatches(r io.Reader) ([]*Batch, error) {
 	rr := wire.NewReader(r)
+	sh, err := wire.DecodeStreamHeader(rr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
+	}
 	n := rr.Uint32()
 	const maxBatches = 1 << 24
 	if rr.Err() == nil && n > maxBatches {
@@ -359,6 +502,10 @@ func ReadBatches(r io.Reader) ([]*Batch, error) {
 	for i := uint32(0); i < n && rr.Err() == nil; i++ {
 		b := &Batch{}
 		b.Header.readSignedFields(rr)
+		if rr.Err() == nil && b.Header.Shards != sh.Shards {
+			return nil, fmt.Errorf("%w: batch %d declares %d shards, stream header %d",
+				ErrBadBatch, b.Header.Seq, b.Header.Shards, sh.Shards)
+		}
 		b.Header.Sig = rr.Bytes(1 << 10)
 		ne := rr.Uint32()
 		const maxEntries = 1 << 20

@@ -22,21 +22,26 @@ func benchRequests(batch, txPerBatch int) []Request {
 }
 
 // BenchmarkExecuteBatch is the end-to-end hot path: execute a batch of
-// transactions, build G with receipts, extend M, sign the header.
+// transactions through the execution/hashing pipeline, build the per-shard
+// trees G_s with receipts, extend M, sign the header. Shard counts 1/4/16
+// measure what partitioning costs (and buys) at the batch level; the
+// checkpoint interval exercises the incremental d_C path.
 func BenchmarkExecuteBatch(b *testing.B) {
-	for _, txs := range []int{16, 128} {
-		b.Run(fmt.Sprintf("txs=%d", txs), func(b *testing.B) {
-			l, err := New(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 10})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := l.ExecuteBatch(benchRequests(i, txs)); err != nil {
+	for _, shards := range []uint32{1, 4, 16} {
+		for _, txs := range []int{16, 128} {
+			b.Run(fmt.Sprintf("shards=%d/txs=%d", shards, txs), func(b *testing.B) {
+				l, err := New(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 10, Shards: shards})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := l.ExecuteBatch(benchRequests(i, txs)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

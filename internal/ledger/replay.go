@@ -19,22 +19,41 @@ var ErrReplay = errors.New("ledger: replay divergence")
 type ReplayResult struct {
 	Batches     int
 	Entries     int
+	Shards      uint32 // execution shard count the stream declared
 	HistSize    uint64
 	HistRoot    hashsig.Digest // ¯M after the last batch
-	StateDigest hashsig.Digest // store digest after the last batch
+	StateDigest hashsig.Digest // sharded store digest after the last batch
 	CkptDigest  hashsig.Digest // d_C of the last checkpoint taken
 }
 
 // Replay re-executes a batch stream from genesis and checks every signed
 // commitment against the recomputed state: header signatures (verified
-// batch-parallel through pool when provided), per-entry results, batch
-// tree roots ¯G, history tree roots ¯M, and checkpoint digests d_C. app
-// must be the same deterministic application the primary ran. A nil error
-// means the stream is exactly reproducible — the replica that signed it
-// executed it faithfully.
+// batch-parallel through pool when provided), per-entry results, per-shard
+// batch tree roots combined into ¯G, history tree roots ¯M, and sharded
+// checkpoint digests d_C. The auditor rebuilds a sharded store with the
+// shard count the signed headers declare, so a replica that executed under
+// a different partition than it claims is caught by the first checkpoint
+// digest. app must be the same deterministic application the primary ran.
+// A nil error means the stream is exactly reproducible — the replica that
+// signed it executed it faithfully.
 func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.VerifierPool) (*ReplayResult, error) {
 	if app == nil {
 		return nil, ErrConfig
+	}
+	// The execution configuration must be coherent before anything is
+	// re-executed: one shard count, declared by every header, within the
+	// store's limit.
+	shards := uint32(1)
+	for i, b := range batches {
+		if i == 0 {
+			shards = b.Header.Shards
+			if shards < 1 || shards > kv.MaxShards {
+				return nil, fmt.Errorf("%w: batch %d: shard count %d", ErrReplay, b.Header.Seq, shards)
+			}
+		} else if b.Header.Shards != shards {
+			return nil, fmt.Errorf("%w: batch %d: shard count %d, stream started with %d",
+				ErrReplay, b.Header.Seq, b.Header.Shards, shards)
+		}
 	}
 	// Verify all header signatures up front as one parallel batch: replay
 	// is the verification-heavy path the paper parallelizes (§3.4).
@@ -57,10 +76,10 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 		}
 	}
 
-	store := kv.NewStore()
+	store := kv.NewSharded(int(shards))
 	hist := merkle.New()
 	var lastCkpt hashsig.Digest
-	res := &ReplayResult{}
+	res := &ReplayResult{Shards: shards}
 	var wantSeq uint64
 	for bi, b := range batches {
 		seq := b.Header.Seq
@@ -93,7 +112,9 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 				if e.Seq != seq {
 					return nil, fmt.Errorf("%w: batch %d entry %d: checkpoint labelled %d", ErrReplay, seq, ei, e.Seq)
 				}
-				if got := store.Digest(); got != e.State {
+				// The auditor pays the same incremental cost the primary did:
+				// only shards dirtied since the previous checkpoint re-hash.
+				if got := store.CheckpointDigest(); got != e.State {
 					return nil, fmt.Errorf("%w: batch %d: checkpoint digest mismatch", ErrReplay, seq)
 				}
 				lastCkpt = e.State
@@ -104,14 +125,25 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 			res.Entries++
 		}
 
-		g := merkle.New()
-		for _, d := range digests {
-			g.Append(d)
+		// Rebuild the per-shard batch trees G_s under the declared partition
+		// and combine their roots; the header's ¯G must match exactly.
+		perShard := make([][]hashsig.Digest, shards)
+		for ei := range b.Entries {
+			s := entryShard(&b.Entries[ei], shards)
+			perShard[s] = append(perShard[s], digests[ei])
+		}
+		top := merkle.New()
+		for s := range perShard {
+			g := merkle.New()
+			for _, d := range perShard[s] {
+				g.Append(d)
+			}
+			top.Append(g.Root())
 		}
 		if got := uint64(len(digests)); got != b.Header.GSize {
 			return nil, fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrReplay, seq, got, b.Header.GSize)
 		}
-		if got := g.Root(); got != b.Header.GRoot {
+		if got := top.Root(); got != b.Header.GRoot {
 			return nil, fmt.Errorf("%w: batch %d: batch root mismatch", ErrReplay, seq)
 		}
 		for _, d := range digests {
@@ -130,7 +162,7 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 	}
 	res.HistSize = hist.Size()
 	res.HistRoot = hist.Root()
-	res.StateDigest = store.Digest()
+	res.StateDigest = store.CheckpointDigest()
 	res.CkptDigest = lastCkpt
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package merkle
 
 import (
+	"fmt"
 	"testing"
 
 	"iaccf/internal/hashsig"
@@ -243,5 +244,88 @@ func TestFrontierRestoreConsistency(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestVerifyShardedPath(t *testing.T) {
+	// Build 3 shard trees of uneven sizes, then a top tree over their roots,
+	// exactly as the ledger builds the combined batch tree ¯G.
+	shardSizes := []int{5, 1, 8}
+	var shardTrees []*Tree
+	var entries [][]hashsig.Digest
+	top := New()
+	for s, size := range shardSizes {
+		tr := New()
+		var es []hashsig.Digest
+		for i := 0; i < size; i++ {
+			e := hashsig.Sum([]byte(fmt.Sprintf("entry-%d-%d", s, i)))
+			es = append(es, e)
+			tr.Append(e)
+		}
+		shardTrees = append(shardTrees, tr)
+		entries = append(entries, es)
+		top.Append(tr.Root())
+	}
+	root := top.Root()
+	shards := uint64(len(shardSizes))
+
+	for s, tr := range shardTrees {
+		m := tr.Size()
+		topPath, err := top.Path(uint64(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < m; i++ {
+			shardPath, err := tr.Path(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := append(append([]hashsig.Digest(nil), shardPath...), topPath...)
+			if !VerifyShardedPath(entries[s][i], i, m, uint64(s), shards, path, root) {
+				t.Fatalf("shard %d leaf %d: valid sharded path rejected", s, i)
+			}
+			// Wrong entry, index, shard, sizes, root: all rejected.
+			if VerifyShardedPath(hashsig.Sum([]byte("evil")), i, m, uint64(s), shards, path, root) {
+				t.Fatal("forged entry accepted")
+			}
+			if VerifyShardedPath(entries[s][i], i+1, m, uint64(s), shards, path, root) {
+				t.Fatal("wrong leaf index accepted")
+			}
+			if VerifyShardedPath(entries[s][i], i, m, uint64((s+1))%shards, shards, path, root) {
+				t.Fatal("wrong shard index accepted")
+			}
+			// Note: like plain RFC 6962 audit paths, claimed position
+			// metadata (sizes, shard widths) whose roll-up shape happens to
+			// coincide can still verify — only the (entry, root) binding is
+			// cryptographic, via leaf/interior domain separation. Assertions
+			// here therefore only check that a different entry, path, or
+			// root is rejected.
+			if VerifyShardedPath(entries[s][i], i, m, uint64(s), shards, path, hashsig.Sum([]byte("bad"))) {
+				t.Fatal("wrong root accepted")
+			}
+			if len(path) > 0 {
+				truncated := path[:len(path)-1]
+				if VerifyShardedPath(entries[s][i], i, m, uint64(s), shards, truncated, root) {
+					t.Fatal("truncated path accepted")
+				}
+				flipped := append([]hashsig.Digest(nil), path...)
+				flipped[0][3] ^= 0x10
+				if VerifyShardedPath(entries[s][i], i, m, uint64(s), shards, flipped, root) {
+					t.Fatal("corrupted path accepted")
+				}
+			}
+		}
+	}
+	// Degenerate single-shard, single-entry case.
+	one := New()
+	e := hashsig.Sum([]byte("only"))
+	one.Append(e)
+	t1 := New()
+	t1.Append(one.Root())
+	if !VerifyShardedPath(e, 0, 1, 0, 1, nil, t1.Root()) {
+		t.Fatal("single-shard single-entry path rejected")
+	}
+	if VerifyShardedPath(e, 0, 0, 0, 1, nil, t1.Root()) {
+		t.Fatal("zero shard size accepted")
 	}
 }

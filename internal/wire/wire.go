@@ -37,6 +37,63 @@ const (
 	MaxValueLen = 1 << 24
 )
 
+// Batch-stream framing. Every serialized batch stream opens with a
+// StreamHeader so readers reject foreign or stale bytes early and so the
+// format can evolve behind the version field. The version count starts at
+// 2: the pre-sharding stream ("version 1") had no header at all — its
+// first bytes were the raw batch count — so any unframed legacy stream
+// fails the magic check rather than mis-decoding. Version 2 carries the
+// execution shard count that sharded checkpoint digests and per-shard
+// batch trees depend on (paper §6).
+const (
+	// StreamMagic opens every batch stream ("iacc").
+	StreamMagic = 0x69616363
+	// StreamVCurrent is the only version current readers decode; writers
+	// always emit it. Future format changes bump it and gate their fields
+	// on it.
+	StreamVCurrent = 2
+	// MaxStreamShards bounds the shard count accepted from a stream. It is
+	// the definition kv.MaxShards aliases, so the wire and store limits
+	// cannot drift.
+	MaxStreamShards = 1 << 10
+)
+
+// StreamHeader is the versioned opening of a batch stream.
+type StreamHeader struct {
+	Version uint32
+	// Shards is the execution shard count the stream's batches were built
+	// under. Always >= 1.
+	Shards uint32
+}
+
+// EncodeTo writes the header: magic, version, shard count.
+func (h *StreamHeader) EncodeTo(w *Writer) {
+	w.Uint32(StreamMagic)
+	w.Uint32(h.Version)
+	w.Uint32(h.Shards)
+}
+
+// DecodeStreamHeader reads and validates a stream header. Foreign magic,
+// versions other than StreamVCurrent, and out-of-range shard counts are
+// all rejected.
+func DecodeStreamHeader(r *Reader) (StreamHeader, error) {
+	if m := r.Uint32(); r.Err() == nil && m != StreamMagic {
+		return StreamHeader{}, fmt.Errorf("%w: bad stream magic %#x", ErrCorrupt, m)
+	}
+	h := StreamHeader{Version: r.Uint32()}
+	if r.Err() == nil && h.Version != StreamVCurrent {
+		return StreamHeader{}, fmt.Errorf("%w: unsupported stream version %d", ErrCorrupt, h.Version)
+	}
+	h.Shards = r.Uint32()
+	if r.Err() == nil && (h.Shards < 1 || h.Shards > MaxStreamShards) {
+		return StreamHeader{}, fmt.Errorf("%w: stream shard count %d", ErrCorrupt, h.Shards)
+	}
+	if err := r.Err(); err != nil {
+		return StreamHeader{}, err
+	}
+	return h, nil
+}
+
 // AppendUint32 appends v big-endian.
 func AppendUint32(dst []byte, v uint32) []byte {
 	var b [4]byte

@@ -118,3 +118,63 @@ func TestWriterStickyError(t *testing.T) {
 type failWriter struct{}
 
 func (failWriter) Write(p []byte) (int, error) { return 0, ErrCorrupt }
+
+func TestStreamHeaderRoundTrip(t *testing.T) {
+	for _, h := range []StreamHeader{
+		{Version: StreamVCurrent, Shards: 1},
+		{Version: StreamVCurrent, Shards: 16},
+		{Version: StreamVCurrent, Shards: MaxStreamShards},
+	} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		h.EncodeTo(w)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		got, err := DecodeStreamHeader(r)
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestStreamHeaderRejects(t *testing.T) {
+	encode := func(fields ...uint32) *Reader {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, f := range fields {
+			w.Uint32(f)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return NewReader(&buf)
+	}
+	if _, err := DecodeStreamHeader(encode(0xdeadbeef, StreamVCurrent, 4)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeStreamHeader(encode(StreamMagic, StreamVCurrent+1, 4)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// The unframed pre-sharding format had no header, so "version 1" only
+	// ever appears in a crafted stream; it is rejected like any unknown.
+	if _, err := DecodeStreamHeader(encode(StreamMagic, 1, 4)); err == nil {
+		t.Fatal("version 1 accepted")
+	}
+	if _, err := DecodeStreamHeader(encode(StreamMagic, 0)); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	if _, err := DecodeStreamHeader(encode(StreamMagic, StreamVCurrent, 0)); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	if _, err := DecodeStreamHeader(encode(StreamMagic, StreamVCurrent, MaxStreamShards+1)); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	if _, err := DecodeStreamHeader(encode(StreamMagic)); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
