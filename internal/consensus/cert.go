@@ -1,0 +1,110 @@
+package consensus
+
+import (
+	"iaccf/internal/hashsig"
+	"iaccf/internal/wire"
+)
+
+// NonceOpen is one revealed commit nonce inside a CommitCert.
+type NonceOpen struct {
+	Replica ReplicaID
+	Nonce   hashsig.Nonce
+}
+
+// CommitCert proves that a batch committed: the proposal, the signed
+// prepares that announced each backup's nonce commitment, and 2f+1 revealed
+// nonces opening those commitments (the primary's commitment rides in the
+// proposal itself). View-change messages carry the sender's certificate for
+// its last committed batch, making the CommittedSeq claim verifiable — a
+// Byzantine replica can replay an old certificate but can never exhibit one
+// for a sequence number that did not actually commit.
+type CommitCert struct {
+	Prop     Proposal
+	Prepares []Prepare
+	Opens    []NonceOpen
+}
+
+// Seq returns the committed batch sequence number the certificate proves.
+func (c *CommitCert) Seq() uint64 { return c.Prop.Seq() }
+
+// sigVerifier checks one signature; Replica injects a memoizing variant so
+// certificates inside re-examined messages are not re-verified.
+type sigVerifier func(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool
+
+func plainVerify(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool {
+	return pub.Verify(d, sig)
+}
+
+// Verify reports whether the certificate proves a commit under the given
+// replica keys: the proposal and every counted prepare must be validly
+// signed, and at least quorum distinct replicas must have an opened nonce
+// matching their announced commitment.
+func (c *CommitCert) Verify(peers []*hashsig.PublicKey, quorum int) bool {
+	return c.verify(peers, quorum, plainVerify)
+}
+
+func (c *CommitCert) verify(peers []*hashsig.PublicKey, quorum int, vf sigVerifier) bool {
+	n := ReplicaID(len(peers))
+	if c.Prop.Primary >= n || c.Prop.Primary != ReplicaID(c.Prop.View%uint64(n)) {
+		return false
+	}
+	if !vf(c.Prop.SigningDigest(), c.Prop.Sig, peers[c.Prop.Primary]) {
+		return false
+	}
+	propDigest := c.Prop.SigningDigest()
+	commits := map[ReplicaID]hashsig.Digest{c.Prop.Primary: c.Prop.NonceCommit}
+	for i := range c.Prepares {
+		p := &c.Prepares[i]
+		if p.Replica >= n || p.Replica == c.Prop.Primary {
+			return false
+		}
+		if p.Prop.SigningDigest() != propDigest || !vf(p.SigningDigest(), p.Sig, peers[p.Replica]) {
+			return false
+		}
+		commits[p.Replica] = p.NonceCommit
+	}
+	opened := map[ReplicaID]bool{}
+	for _, o := range c.Opens {
+		cm, ok := commits[o.Replica]
+		if ok && o.Nonce.Opens(cm) {
+			opened[o.Replica] = true
+		}
+	}
+	return len(opened) >= quorum
+}
+
+func (c *CommitCert) encodeTo(w *wire.Writer) {
+	c.Prop.encodeTo(w)
+	w.Uint32(uint32(len(c.Prepares)))
+	for i := range c.Prepares {
+		c.Prepares[i].encodeBody(w)
+	}
+	w.Uint32(uint32(len(c.Opens)))
+	for _, o := range c.Opens {
+		w.Uint32(uint32(o.Replica))
+		w.Nonce(o.Nonce)
+	}
+}
+
+func decodeCommitCert(r *wire.Reader) *CommitCert {
+	c := &CommitCert{Prop: decodeProposal(r)}
+	np := r.Uint32()
+	if r.Err() == nil && np > maxViewChanges {
+		r.Fail(errTooMany("prepares", np))
+		return c
+	}
+	c.Prepares = make([]Prepare, 0, min(np, 64))
+	for i := uint32(0); i < np && r.Err() == nil; i++ {
+		c.Prepares = append(c.Prepares, *decodePrepare(r))
+	}
+	no := r.Uint32()
+	if r.Err() == nil && no > maxViewChanges {
+		r.Fail(errTooMany("nonce opens", no))
+		return c
+	}
+	c.Opens = make([]NonceOpen, 0, min(no, 64))
+	for i := uint32(0); i < no && r.Err() == nil; i++ {
+		c.Opens = append(c.Opens, NonceOpen{Replica: ReplicaID(r.Uint32()), Nonce: r.Nonce()})
+	}
+	return c
+}

@@ -1,0 +1,92 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+// BenchmarkConsensusCommit measures one full L-PBFT commit round — propose,
+// pre-prepare, prepares, nonce-revealing commits, all message codec work
+// included — across 3f+1 = 4 replicas with f = 1, per batch size. The
+// metric that matters is entries/sec: how much ledger throughput one
+// consensus round sustains.
+func BenchmarkConsensusCommit(b *testing.B) {
+	for _, batchSize := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", batchSize), func(b *testing.B) {
+			const n = 4
+			keys := make([]*hashsig.PrivateKey, n)
+			peers := make([]*hashsig.PublicKey, n)
+			for i := range keys {
+				keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("bench-%d", i))
+				peers[i] = keys[i].Public()
+			}
+			replicas := make([]*Replica, n)
+			for i := range replicas {
+				r, err := New(Config{
+					ID:              ReplicaID(i),
+					Key:             keys[i],
+					Peers:           peers,
+					App:             ledger.KVApp{},
+					CheckpointEvery: 4,
+					Shards:          4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				replicas[i] = r
+			}
+			author := hashsig.Sum([]byte("bench-client"))
+			reqsFor := func(seq uint64) []ledger.Request {
+				reqs := make([]ledger.Request, batchSize)
+				for i := range reqs {
+					reqs[i] = ledger.Request{
+						Author: author,
+						ReqNo:  seq*100000 + uint64(i),
+						Body: ledger.EncodeOps([]ledger.Op{{
+							Key: fmt.Sprintf("key-%d", i%512),
+							Val: []byte(fmt.Sprintf("val-%d-%d", seq, i)),
+						}}),
+					}
+				}
+				return reqs
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq := uint64(i + 1)
+				pp, _, err := replicas[0].Propose(reqsFor(seq))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Flood-deliver encoded frames until quiescent, like the
+				// harness but with no loss: the steady-state fast path.
+				queue := [][]byte{EncodeMessage(pp)}
+				for len(queue) > 0 {
+					frame := queue[0]
+					queue = queue[1:]
+					m, err := DecodeMessage(frame)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range replicas {
+						out, _ := r.Handle(m)
+						for _, o := range out {
+							queue = append(queue, EncodeMessage(o))
+						}
+					}
+				}
+				for _, r := range replicas {
+					if r.Committed() != seq {
+						b.Fatalf("replica %d at seq %d, want %d", r.ID(), r.Committed(), seq)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+		})
+	}
+}

@@ -1,0 +1,446 @@
+package consensus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+// cluster is a set of replicas plus a flood-delivery helper: every outbound
+// message is broadcast to every replica in FIFO order until quiescence.
+type cluster struct {
+	t        *testing.T
+	replicas []*Replica
+	keys     []*hashsig.PrivateKey
+	queue    []Message
+}
+
+func newCluster(t *testing.T, n int, shards uint32) *cluster {
+	t.Helper()
+	keys := make([]*hashsig.PrivateKey, n)
+	peers := make([]*hashsig.PublicKey, n)
+	for i := range keys {
+		keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("consensus-test-%d", i))
+		peers[i] = keys[i].Public()
+	}
+	c := &cluster{t: t, keys: keys}
+	for i := 0; i < n; i++ {
+		r, err := New(Config{
+			ID:              ReplicaID(i),
+			Key:             keys[i],
+			Peers:           peers,
+			App:             ledger.KVApp{},
+			CheckpointEvery: 2,
+			Shards:          shards,
+		})
+		if err != nil {
+			t.Fatalf("New replica %d: %v", i, err)
+		}
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+// flood broadcasts queued messages to every replica until nothing new is
+// produced. Skip suppresses delivery to the given replica IDs.
+func (c *cluster) flood(skip ...ReplicaID) {
+	skipped := map[ReplicaID]bool{}
+	for _, id := range skip {
+		skipped[id] = true
+	}
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		for _, r := range c.replicas {
+			if skipped[r.ID()] {
+				continue
+			}
+			out, _ := r.Handle(m)
+			c.queue = append(c.queue, out...)
+		}
+	}
+}
+
+func reqs(author hashsig.Digest, base uint64, n int) []ledger.Request {
+	out := make([]ledger.Request, n)
+	for i := range out {
+		out[i] = ledger.Request{
+			Author: author,
+			ReqNo:  base + uint64(i),
+			Body: ledger.EncodeOps([]ledger.Op{
+				{Key: fmt.Sprintf("k%d", base+uint64(i)), Val: []byte(fmt.Sprintf("v%d", i))},
+			}),
+		}
+	}
+	return out
+}
+
+func (c *cluster) propose(primary int, rs []ledger.Request) {
+	c.t.Helper()
+	pp, receipts, err := c.replicas[primary].Propose(rs)
+	if err != nil {
+		c.t.Fatalf("Propose: %v", err)
+	}
+	if len(receipts) != len(rs) {
+		c.t.Fatalf("got %d receipts for %d requests", len(receipts), len(rs))
+	}
+	c.queue = append(c.queue, pp)
+}
+
+// assertAgreement checks every listed replica committed seq with identical
+// (¯M, d_C, state digest).
+func (c *cluster) assertAgreement(seq uint64, ids ...int) {
+	c.t.Helper()
+	ref := c.replicas[ids[0]]
+	if ref.Committed() != seq {
+		c.t.Fatalf("replica %d committed %d, want %d", ids[0], ref.Committed(), seq)
+	}
+	for _, id := range ids[1:] {
+		r := c.replicas[id]
+		if r.Committed() != seq {
+			c.t.Fatalf("replica %d committed %d, want %d", id, r.Committed(), seq)
+		}
+		if r.Ledger().HistRoot() != ref.Ledger().HistRoot() {
+			c.t.Fatalf("replica %d history root diverges", id)
+		}
+		if r.Ledger().StateDigest() != ref.Ledger().StateDigest() {
+			c.t.Fatalf("replica %d state digest diverges", id)
+		}
+	}
+}
+
+func TestHappyPathCommit(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+	for seq := uint64(1); seq <= 5; seq++ {
+		c.propose(0, reqs(author, seq*10, 3))
+		c.flood()
+		c.assertAgreement(seq, 0, 1, 2, 3)
+	}
+	for _, r := range c.replicas {
+		if len(r.Evidence()) != 0 {
+			t.Fatalf("replica %d collected blame in an honest run", r.ID())
+		}
+		if got := len(r.Ledger().Batches()); got != 5 {
+			t.Fatalf("replica %d retains %d batches, want 5", r.ID(), got)
+		}
+	}
+}
+
+func TestCommitRequiresQuorum(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+	// Two replicas never hear anything: 2 participants < 2f+1 = 3.
+	c.propose(0, reqs(author, 10, 2))
+	c.flood(2, 3)
+	if c.replicas[0].Committed() != 0 || c.replicas[1].Committed() != 0 {
+		t.Fatal("committed without a quorum")
+	}
+}
+
+func TestLaggardCatchesUpFromBroadcasts(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+	// Replica 3 misses two full rounds; the traffic is redelivered later
+	// (the sim models drops as delayed retransmission).
+	var held []Message
+	for seq := uint64(1); seq <= 2; seq++ {
+		pp, _, err := c.replicas[0].Propose(reqs(author, seq*10, 2))
+		if err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+		c.queue = append(c.queue, pp)
+		held = append(held, pp)
+		for len(c.queue) > 0 {
+			m := c.queue[0]
+			c.queue = c.queue[1:]
+			for _, r := range c.replicas[:3] {
+				out, _ := r.Handle(m)
+				c.queue = append(c.queue, out...)
+				held = append(held, out...)
+			}
+		}
+	}
+	c.assertAgreement(2, 0, 1, 2)
+	if c.replicas[3].Committed() != 0 {
+		t.Fatal("isolated replica advanced")
+	}
+	for _, m := range held {
+		if out, _ := c.replicas[3].Handle(m); len(out) > 0 {
+			c.queue = append(c.queue, out...)
+		}
+	}
+	c.flood()
+	c.assertAgreement(2, 0, 1, 2, 3)
+}
+
+func TestEquivocatingPrimaryYieldsBlame(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+	primary := c.replicas[0]
+
+	// The primary signs two different batches for seq 1 by executing one,
+	// rolling back (Lemma 1 makes this cheap), and executing the other.
+	batchA, _, err := primary.Ledger().ExecuteBatch(reqs(author, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Ledger().RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	batchB, _, err := primary.Ledger().ExecuteBatch(reqs(author, 99, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(b *ledger.Batch) *PrePrepare {
+		nonce := hashsig.NewNonce()
+		prop := Proposal{View: 0, Primary: 0, Header: b.Header, NonceCommit: nonce.Commit()}
+		prop.Sig = c.keys[0].MustSign(prop.SigningDigest())
+		return &PrePrepare{Prop: prop, Entries: b.Entries}
+	}
+	ppA, ppB := mk(batchA), mk(batchB)
+
+	outA, err := c.replicas[1].Handle(ppA)
+	if err != nil {
+		t.Fatalf("replica 1 rejects honest-looking pre-prepare: %v", err)
+	}
+	if _, err := c.replicas[2].Handle(ppB); err != nil {
+		t.Fatalf("replica 2 rejects honest-looking pre-prepare: %v", err)
+	}
+	// Replica 2 now receives replica 1's prepare, which carries the
+	// conflicting primary-signed proposal: blame must appear.
+	for _, m := range outA {
+		c.replicas[2].Handle(m)
+	}
+	ev := c.replicas[2].Evidence()
+	if len(ev) != 1 {
+		t.Fatalf("replica 2 holds %d blame objects, want 1", len(ev))
+	}
+	bl := ev[0]
+	if bl.Culprit != c.keys[0].Public().ID() {
+		t.Fatalf("blame names %s, want the primary's key", bl.Culprit)
+	}
+	if !bl.Verify(c.keys[0].Public()) {
+		t.Fatal("blame evidence does not verify against the culprit key")
+	}
+	if bl.Verify(c.keys[1].Public()) {
+		t.Fatal("blame evidence verifies against an innocent key")
+	}
+	if bl.View != 0 || bl.Seq != 1 {
+		t.Fatalf("blame locates (view %d, seq %d), want (0, 1)", bl.View, bl.Seq)
+	}
+}
+
+func TestBlameVerifyRejectsForgery(t *testing.T) {
+	key := hashsig.GenerateKeyFromSeed("blame-forge")
+	other := hashsig.GenerateKeyFromSeed("blame-other")
+	mk := func(seq uint64, tag byte) Proposal {
+		p := Proposal{
+			View:        3,
+			Primary:     3,
+			Header:      ledger.BatchHeader{Seq: seq, GSize: uint64(tag), Shards: 1},
+			NonceCommit: hashsig.Sum([]byte{tag}),
+		}
+		p.Header.Sig = key.MustSign(p.Header.SigningDigest())
+		p.Sig = key.MustSign(p.SigningDigest())
+		return p
+	}
+	a, b := mk(7, 1), mk(7, 2)
+	bl := blameFrom(&a, &b, key.Public())
+	if bl == nil || !bl.Verify(key.Public()) {
+		t.Fatal("genuine conflict did not produce verifiable blame")
+	}
+	if blameFrom(&a, &a, key.Public()) != nil {
+		t.Fatal("identical proposals produced blame")
+	}
+	cross := mk(8, 3)
+	if blameFrom(&a, &cross, key.Public()) != nil {
+		t.Fatal("different sequence numbers produced blame")
+	}
+	if bl.Verify(other.Public()) {
+		t.Fatal("blame verified against the wrong key")
+	}
+	tampered := *bl
+	tampered.B.Header.GSize = 99
+	if tampered.Verify(key.Public()) {
+		t.Fatal("tampered blame verified")
+	}
+}
+
+func TestViewChangeRecoversLiveness(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+
+	// Commit one batch normally so the view change has committed state to
+	// certify.
+	c.propose(0, reqs(author, 10, 2))
+	c.flood()
+	c.assertAgreement(1, 0, 1, 2, 3)
+
+	// The primary stalls: it proposes seq 2 but the pre-prepare reaches
+	// only replica 1, then everyone times out.
+	pp, _, err := c.replicas[0].Propose(reqs(author, 20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.replicas[1].Handle(pp); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2, 3} {
+		c.queue = append(c.queue, c.replicas[id].OnTimeout()...)
+	}
+	c.flood(0) // old primary stays silent
+	for _, id := range []int{1, 2, 3} {
+		if got := c.replicas[id].View(); got != 1 {
+			t.Fatalf("replica %d in view %d, want 1", id, got)
+		}
+	}
+	// The new primary (replica 1) proposes in view 1 and the quorum
+	// {1,2,3} commits without the old primary.
+	if !c.replicas[1].IsPrimary() {
+		t.Fatal("replica 1 should lead view 1")
+	}
+	if !c.replicas[1].Idle() {
+		t.Fatal("new primary not idle after view change")
+	}
+	c.propose(1, reqs(author, 30, 2))
+	c.flood(0)
+	c.assertAgreement(2, 1, 2, 3)
+}
+
+func TestPreparedBatchSurvivesViewChange(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	author := hashsig.Sum([]byte("client"))
+
+	// Seq 1 reaches the prepared stage at replicas 1-3 (pre-prepare and
+	// prepares flow) but no commit quorum forms: commits are withheld.
+	pp, _, err := c.replicas[0].Propose(reqs(author, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prepares []Message
+	for _, id := range []int{1, 2, 3} {
+		out, err := c.replicas[id].Handle(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepares = append(prepares, out...)
+	}
+	var commits []Message
+	for _, m := range prepares {
+		for _, id := range []int{1, 2, 3} {
+			out, _ := c.replicas[id].Handle(m)
+			for _, o := range out {
+				if _, ok := o.(*Commit); ok {
+					commits = append(commits, o)
+					continue
+				}
+			}
+		}
+	}
+	if len(commits) == 0 {
+		t.Fatal("no replica reached the prepared stage")
+	}
+	// View change: the prepared batch must be re-proposed and commit in
+	// view 1 with the same header commitments.
+	wantDigest := pp.Prop.Header.SigningDigest()
+	for _, id := range []int{1, 2, 3} {
+		c.queue = append(c.queue, c.replicas[id].OnTimeout()...)
+	}
+	c.flood(0)
+	c.assertAgreement(1, 1, 2, 3)
+	for _, id := range []int{1, 2, 3} {
+		b := c.replicas[id].Ledger().Batches()
+		if len(b) != 1 || b[0].Header.SigningDigest() != wantDigest {
+			t.Fatalf("replica %d committed a different batch than the prepared one", id)
+		}
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	c := newCluster(t, 4, 4)
+	author := hashsig.Sum([]byte("client"))
+	pp, _, err := c.replicas[0].Propose(reqs(author, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := c.replicas[1].Handle(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{pp}
+	msgs = append(msgs, out1...)
+	msgs = append(msgs, &Commit{
+		View: 1, Replica: 2, Seq: 9,
+		HeaderDigest: hashsig.Sum([]byte("h")),
+		Nonce:        hashsig.NonceFromSeed("n"),
+	})
+	msgs = append(msgs, c.replicas[2].OnTimeout()...)
+	for i, m := range msgs {
+		enc := EncodeMessage(m)
+		dec, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("msg %d (%T): decode: %v", i, m, err)
+		}
+		if dec.Type() != m.Type() {
+			t.Fatalf("msg %d: type %d -> %d", i, m.Type(), dec.Type())
+		}
+		if !bytes.Equal(EncodeMessage(dec), enc) {
+			t.Fatalf("msg %d (%T): re-encode differs", i, m)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsMalformed(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	pp, _, err := c.replicas[0].Propose(reqs(hashsig.Sum([]byte("x")), 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := EncodeMessage(pp)
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},
+		{0, 0, 0, 99},             // unknown type
+		valid[:len(valid)/2],      // truncated
+		append(valid, 0xde, 0xad), // trailing garbage
+	}
+	for i, b := range cases {
+		if _, err := DecodeMessage(b); err == nil {
+			t.Fatalf("case %d: malformed message decoded", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	keys := make([]*hashsig.PrivateKey, 4)
+	peers := make([]*hashsig.PublicKey, 4)
+	for i := range keys {
+		keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("cv-%d", i))
+		peers[i] = keys[i].Public()
+	}
+	if _, err := New(Config{ID: 0, Key: keys[0], Peers: peers[:3], App: ledger.KVApp{}}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("3 peers accepted: %v", err)
+	}
+	if _, err := New(Config{ID: 1, Key: keys[0], Peers: peers, App: ledger.KVApp{}}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("mismatched key accepted: %v", err)
+	}
+	if _, err := New(Config{ID: 9, Key: keys[0], Peers: peers, App: ledger.KVApp{}}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("out-of-range id accepted: %v", err)
+	}
+	r, err := New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Propose(nil); err != nil {
+		t.Fatalf("primary cannot propose: %v", err)
+	}
+	if _, _, err := r.Propose(nil); !errors.Is(err, ErrNotPrimary) {
+		t.Fatal("busy primary proposed again")
+	}
+}

@@ -1,0 +1,118 @@
+package consensus
+
+import (
+	"bytes"
+
+	"testing"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+// messageCorpus builds one valid frame of every message type plus mutated
+// variants. The seeds run under plain `go test` too, making this a
+// decoder regression table even when fuzzing is off.
+func messageCorpus() [][]byte {
+	key := hashsig.GenerateKeyFromSeed("fuzz-corpus")
+	led, err := ledger.New(ledger.Config{Key: key, App: ledger.KVApp{}})
+	if err != nil {
+		panic(err)
+	}
+	batch, _, err := led.ExecuteBatch([]ledger.Request{{
+		Author: hashsig.Sum([]byte("client")),
+		ReqNo:  1,
+		Body:   ledger.EncodeOps([]ledger.Op{{Key: "k", Val: []byte("v")}}),
+	}})
+	if err != nil {
+		panic(err)
+	}
+	nonce := hashsig.NonceFromSeed("fuzz-nonce")
+	prop := Proposal{View: 1, Primary: 1, Header: batch.Header, NonceCommit: nonce.Commit()}
+	prop.Sig = key.MustSign(prop.SigningDigest())
+	pp := &PrePrepare{Prop: prop, Entries: batch.Entries}
+	prep := &Prepare{Replica: 2, Prop: prop, NonceCommit: nonce.Commit()}
+	prep.Sig = key.MustSign(prep.SigningDigest())
+	cm := &Commit{View: 1, Replica: 2, Seq: 1, HeaderDigest: batch.Header.SigningDigest(), Nonce: nonce}
+	vc := &ViewChange{
+		NewView: 2, Replica: 3, CommittedSeq: 1,
+		CommitProof:  &CommitCert{Prop: prop, Prepares: []Prepare{*prep}, Opens: []NonceOpen{{Replica: 2, Nonce: nonce}}},
+		Prepared:     pp,
+		PrepareProof: []Prepare{*prep},
+	}
+	vc.Sig = key.MustSign(vc.SigningDigest())
+	nv := &NewView{View: 2, Replica: 2, VCs: []ViewChange{*vc}}
+	nv.Sig = key.MustSign(nv.SigningDigest())
+
+	var out [][]byte
+	for _, m := range []Message{pp, prep, cm, vc, nv} {
+		frame := EncodeMessage(m)
+		out = append(out, frame)
+		out = append(out, frame[:len(frame)/2])
+		mutated := append([]byte(nil), frame...)
+		mutated[4] ^= 0xff
+		out = append(out, mutated)
+	}
+	out = append(out, nil, []byte{0, 0, 0, 0}, []byte{0, 0, 0, 9, 1, 2, 3})
+	return out
+}
+
+// FuzzDecodeMessage: no input may panic the consensus decoders, and
+// anything that decodes must re-encode canonically to the identical frame.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, seed := range messageCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("decode returned both a message and an error")
+			}
+			return
+		}
+		re := EncodeMessage(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+		if _, err := DecodeMessage(re); err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+	})
+}
+
+// TestMessageCorpusDecodes pins the corpus expectations explicitly: intact
+// frames decode, truncations error, and nothing panics.
+func TestMessageCorpusDecodes(t *testing.T) {
+	corpus := messageCorpus()
+	for i, frame := range corpus {
+		m, err := DecodeMessage(frame)
+		if i%3 == 0 && i < 15 { // the intact frames
+			if err != nil {
+				t.Fatalf("frame %d: valid message rejected: %v", i, err)
+			}
+			if !bytes.Equal(EncodeMessage(m), frame) {
+				t.Fatalf("frame %d: not canonical", i)
+			}
+			continue
+		}
+		// Mutants may or may not decode; the requirement is no panic and
+		// canonical round-trip when they do.
+		if err == nil && !bytes.Equal(EncodeMessage(m), frame) {
+			t.Fatalf("frame %d (%T): mutant decoded non-canonically", i, m)
+		}
+	}
+}
+
+func TestFuzzCorpusCoversAllTypes(t *testing.T) {
+	seen := map[MsgType]bool{}
+	for _, frame := range messageCorpus() {
+		if m, err := DecodeMessage(frame); err == nil {
+			seen[m.Type()] = true
+		}
+	}
+	for _, want := range []MsgType{MsgPrePrepare, MsgPrepare, MsgCommit, MsgViewChange, MsgNewView} {
+		if !seen[want] {
+			t.Fatalf("corpus has no valid frame of type %d", want)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Package consensus implements the L-PBFT core of IA-CCF (paper §3): the
+// pre-prepare / prepare / commit / view-change message flow over signed
+// ledger.BatchHeader commitments, with nonce-commitment openings replacing
+// commit-phase signatures (Appx. A Lemma 3) and view changes that roll
+// replicas back to the last committed batch boundary (Lemma 1).
+//
+// Every signed message binds the signer's ReplicaID and the view, so a
+// replica that signs two conflicting proposals for the same (view, seq) has
+// produced self-contained blame evidence (see Blame) naming its key — the
+// individual accountability the paper is built around.
+package consensus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+	"iaccf/internal/wire"
+)
+
+// ReplicaID indexes a replica within the current configuration. The primary
+// of view v is replica v mod n.
+type ReplicaID uint32
+
+// MsgType tags the consensus message frames on the wire.
+type MsgType uint8
+
+const (
+	// MsgPrePrepare carries the primary's proposal plus the batch entries.
+	MsgPrePrepare MsgType = 1
+	// MsgPrepare is a backup's signed agreement to a proposal, carrying the
+	// proposal itself so conflicting primary signatures cross-pollinate into
+	// blame evidence.
+	MsgPrepare MsgType = 2
+	// MsgCommit reveals the sender's nonce preimage; opening the commitment
+	// announced in its pre-prepare/prepare authenticates the message without
+	// a second signature (Lemma 3), so commits are unsigned.
+	MsgCommit MsgType = 3
+	// MsgViewChange asks to move to a new view, carrying the sender's
+	// committed sequence number and its prepared-but-uncommitted proposal.
+	MsgViewChange MsgType = 4
+	// MsgNewView is the new primary's 2f+1 view-change certificate.
+	MsgNewView MsgType = 5
+)
+
+// ErrBadMessage reports a malformed consensus message on decode.
+var ErrBadMessage = errors.New("consensus: malformed message")
+
+// maxViewChanges bounds the view-change certificate size accepted on
+// decode; any real certificate holds at most n entries.
+const maxViewChanges = 1 << 10
+
+// Message is one L-PBFT protocol message.
+type Message interface {
+	Type() MsgType
+	encodeBody(w *wire.Writer)
+}
+
+// Domain separators for every consensus signature, so no message can be
+// replayed as another kind.
+var (
+	proposalDomain   = []byte("iaccf-preprepare:")
+	prepareDomain    = []byte("iaccf-prepare:")
+	viewChangeDomain = []byte("iaccf-viewchange:")
+	newViewDomain    = []byte("iaccf-newview:")
+)
+
+// Proposal is the signed core of a pre-prepare, detached from the batch
+// entries: the view, the proposing primary, the primary-signed batch header
+// it commits to, and the primary's nonce commitment H(n). Prepares carry
+// the proposal they answer and blame evidence stores conflicting pairs.
+type Proposal struct {
+	View        uint64
+	Primary     ReplicaID
+	Header      ledger.BatchHeader
+	NonceCommit hashsig.Digest
+	Sig         hashsig.Signature
+}
+
+// Seq returns the batch sequence number the proposal is for.
+func (p *Proposal) Seq() uint64 { return p.Header.Seq }
+
+// SigningDigest returns the digest the primary signs: the view, its own
+// identity, the header's signing digest (not its malleable signature
+// bytes), and the nonce commitment, domain separated.
+func (p *Proposal) SigningDigest() hashsig.Digest {
+	b := append([]byte(nil), proposalDomain...)
+	b = wire.AppendUint64(b, p.View)
+	b = wire.AppendUint32(b, uint32(p.Primary))
+	b = wire.AppendDigest(b, p.Header.SigningDigest())
+	b = wire.AppendDigest(b, p.NonceCommit)
+	return hashsig.Sum(b)
+}
+
+// Verify reports whether the proposal carries a valid signature by pub.
+func (p *Proposal) Verify(pub *hashsig.PublicKey) bool {
+	return pub.Verify(p.SigningDigest(), p.Sig)
+}
+
+func (p *Proposal) encodeTo(w *wire.Writer) {
+	w.Uint64(p.View)
+	w.Uint32(uint32(p.Primary))
+	p.Header.EncodeTo(w)
+	w.Digest(p.NonceCommit)
+	w.Bytes(p.Sig)
+}
+
+func decodeProposal(r *wire.Reader) Proposal {
+	var p Proposal
+	p.View = r.Uint64()
+	p.Primary = ReplicaID(r.Uint32())
+	p.Header = ledger.DecodeHeader(r)
+	p.NonceCommit = r.Digest()
+	p.Sig = r.Bytes(ledger.MaxSigLen)
+	return p
+}
+
+// PrePrepare is the primary's proposal plus the batch entries backups
+// re-execute (ledger.ApplyBatch). Prop.Header is the header of the carried
+// batch.
+type PrePrepare struct {
+	Prop    Proposal
+	Entries []ledger.Entry
+}
+
+// Type implements Message.
+func (m *PrePrepare) Type() MsgType { return MsgPrePrepare }
+
+// Batch reassembles the proposed batch from the header and entries.
+func (m *PrePrepare) Batch() *ledger.Batch {
+	return &ledger.Batch{Header: m.Prop.Header, Entries: m.Entries}
+}
+
+func (m *PrePrepare) encodeBody(w *wire.Writer) {
+	m.Prop.encodeTo(w)
+	w.Uint32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		w.Bytes(m.Entries[i].Encode(nil))
+	}
+}
+
+func decodePrePrepare(r *wire.Reader) *PrePrepare {
+	m := &PrePrepare{Prop: decodeProposal(r)}
+	ne := r.Uint32()
+	if r.Err() == nil && ne > ledger.MaxBatchEntries {
+		r.Fail(fmt.Errorf("%w: %d entries", ErrBadMessage, ne))
+		return m
+	}
+	m.Entries = make([]ledger.Entry, 0, min(ne, 1024))
+	for i := uint32(0); i < ne && r.Err() == nil; i++ {
+		b := r.Bytes(wire.MaxValueLen)
+		if r.Err() != nil {
+			break
+		}
+		e, err := ledger.DecodeEntry(b)
+		if err != nil {
+			r.Fail(err)
+			break
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m
+}
+
+// Prepare is a backup's signed agreement to a proposal. It carries the full
+// proposal (primary signature included) rather than a bare digest: a
+// replica that received a different proposal for the same (view, seq)
+// thereby obtains both conflicting primary signatures and can construct
+// Blame evidence without any extra round.
+type Prepare struct {
+	Replica     ReplicaID
+	Prop        Proposal
+	NonceCommit hashsig.Digest // H(n) of the backup's own commit nonce
+	Sig         hashsig.Signature
+}
+
+// Type implements Message.
+func (m *Prepare) Type() MsgType { return MsgPrepare }
+
+// SigningDigest covers the backup's identity, the proposal it answers, and
+// the backup's nonce commitment.
+func (m *Prepare) SigningDigest() hashsig.Digest {
+	b := append([]byte(nil), prepareDomain...)
+	b = wire.AppendUint32(b, uint32(m.Replica))
+	b = wire.AppendDigest(b, m.Prop.SigningDigest())
+	b = wire.AppendDigest(b, m.NonceCommit)
+	return hashsig.Sum(b)
+}
+
+// Verify reports whether the prepare carries a valid signature by pub.
+func (m *Prepare) Verify(pub *hashsig.PublicKey) bool {
+	return pub.Verify(m.SigningDigest(), m.Sig)
+}
+
+func (m *Prepare) encodeBody(w *wire.Writer) {
+	w.Uint32(uint32(m.Replica))
+	m.Prop.encodeTo(w)
+	w.Digest(m.NonceCommit)
+	w.Bytes(m.Sig)
+}
+
+func decodePrepare(r *wire.Reader) *Prepare {
+	m := &Prepare{Replica: ReplicaID(r.Uint32())}
+	m.Prop = decodeProposal(r)
+	m.NonceCommit = r.Digest()
+	m.Sig = r.Bytes(ledger.MaxSigLen)
+	return m
+}
+
+// Commit reveals the sender's nonce preimage for one instance. It carries
+// no signature: only the replica that committed to H(n) in its
+// pre-prepare or prepare can produce n, so the opening itself authenticates
+// the message (Lemma 3). HeaderDigest pins which proposal the nonce was
+// committed for.
+type Commit struct {
+	View         uint64
+	Replica      ReplicaID
+	Seq          uint64
+	HeaderDigest hashsig.Digest // BatchHeader.SigningDigest of the proposal
+	Nonce        hashsig.Nonce
+}
+
+// Type implements Message.
+func (m *Commit) Type() MsgType { return MsgCommit }
+
+func (m *Commit) encodeBody(w *wire.Writer) {
+	w.Uint64(m.View)
+	w.Uint32(uint32(m.Replica))
+	w.Uint64(m.Seq)
+	w.Digest(m.HeaderDigest)
+	w.Nonce(m.Nonce)
+}
+
+func decodeCommit(r *wire.Reader) *Commit {
+	return &Commit{
+		View:         r.Uint64(),
+		Replica:      ReplicaID(r.Uint32()),
+		Seq:          r.Uint64(),
+		HeaderDigest: r.Digest(),
+		Nonce:        r.Nonce(),
+	}
+}
+
+// ViewChange asks to move to view NewView. It carries the sender's highest
+// committed sequence number with the commit certificate proving it, and, if
+// the sender holds a prepared certificate for an uncommitted batch, that
+// batch's pre-prepare plus the prepares backing it — the new primary must
+// re-propose that batch, which is what preserves safety across the change
+// (a batch that committed anywhere was prepared by at least f+1 honest
+// replicas, so every 2f+1 view-change quorum contains one of them). Both
+// proofs are made of signed or nonce-opened messages, so neither claim can
+// be fabricated.
+type ViewChange struct {
+	NewView      uint64
+	Replica      ReplicaID
+	CommittedSeq uint64
+	// CommitProof certifies CommittedSeq (nil only when CommittedSeq is 0).
+	CommitProof *CommitCert
+	// Prepared is the prepared-but-uncommitted pre-prepare, nil if none.
+	Prepared *PrePrepare
+	// PrepareProof holds the prepares backing Prepared: together with the
+	// proposal's own primary signature they must cover 2f+1 replicas.
+	PrepareProof []Prepare
+	Sig          hashsig.Signature
+}
+
+// Type implements Message.
+func (m *ViewChange) Type() MsgType { return MsgViewChange }
+
+// SigningDigest covers the target view, the sender, its committed sequence
+// number, and the identity of the prepared proposal (zero when absent); the
+// prepared entries are bound transitively through the header's ¯G.
+func (m *ViewChange) SigningDigest() hashsig.Digest {
+	b := append([]byte(nil), viewChangeDomain...)
+	b = wire.AppendUint64(b, m.NewView)
+	b = wire.AppendUint32(b, uint32(m.Replica))
+	b = wire.AppendUint64(b, m.CommittedSeq)
+	var pd hashsig.Digest
+	if m.Prepared != nil {
+		pd = m.Prepared.Prop.SigningDigest()
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = wire.AppendDigest(b, pd)
+	return hashsig.Sum(b)
+}
+
+// Verify reports whether the view-change carries a valid signature by pub.
+func (m *ViewChange) Verify(pub *hashsig.PublicKey) bool {
+	return pub.Verify(m.SigningDigest(), m.Sig)
+}
+
+func (m *ViewChange) encodeBody(w *wire.Writer) {
+	w.Uint64(m.NewView)
+	w.Uint32(uint32(m.Replica))
+	w.Uint64(m.CommittedSeq)
+	if m.CommitProof != nil {
+		w.Uint32(1)
+		m.CommitProof.encodeTo(w)
+	} else {
+		w.Uint32(0)
+	}
+	if m.Prepared != nil {
+		w.Uint32(1)
+		m.Prepared.encodeBody(w)
+	} else {
+		w.Uint32(0)
+	}
+	w.Uint32(uint32(len(m.PrepareProof)))
+	for i := range m.PrepareProof {
+		m.PrepareProof[i].encodeBody(w)
+	}
+	w.Bytes(m.Sig)
+}
+
+func decodeFlag(r *wire.Reader, what string) bool {
+	switch flag := r.Uint32(); {
+	case r.Err() != nil:
+	case flag == 1:
+		return true
+	case flag != 0:
+		r.Fail(fmt.Errorf("%w: %s flag %d", ErrBadMessage, what, flag))
+	}
+	return false
+}
+
+func errTooMany(what string, n uint32) error {
+	return fmt.Errorf("%w: %d %s", ErrBadMessage, n, what)
+}
+
+func decodeViewChange(r *wire.Reader) *ViewChange {
+	m := &ViewChange{
+		NewView:      r.Uint64(),
+		Replica:      ReplicaID(r.Uint32()),
+		CommittedSeq: r.Uint64(),
+	}
+	if decodeFlag(r, "commit proof") {
+		m.CommitProof = decodeCommitCert(r)
+	}
+	if decodeFlag(r, "prepared") {
+		m.Prepared = decodePrePrepare(r)
+	}
+	np := r.Uint32()
+	if r.Err() == nil && np > maxViewChanges {
+		r.Fail(errTooMany("prepare proofs", np))
+		return m
+	}
+	m.PrepareProof = make([]Prepare, 0, min(np, 64))
+	for i := uint32(0); i < np && r.Err() == nil; i++ {
+		m.PrepareProof = append(m.PrepareProof, *decodePrepare(r))
+	}
+	m.Sig = r.Bytes(ledger.MaxSigLen)
+	return m
+}
+
+// NewView is the new primary's certificate for entering its view: 2f+1
+// signed view-changes. Receivers recompute the committed high-water mark
+// and the prepared batch to re-propose from the certificate itself, so a
+// lying new primary cannot smuggle in a different starting state.
+type NewView struct {
+	View    uint64
+	Replica ReplicaID
+	VCs     []ViewChange
+	Sig     hashsig.Signature
+}
+
+// Type implements Message.
+func (m *NewView) Type() MsgType { return MsgNewView }
+
+// SigningDigest covers the view, the sender, and every carried view-change
+// (its signing digest and signature bytes, so the certificate cannot be
+// reshuffled under the same signature).
+func (m *NewView) SigningDigest() hashsig.Digest {
+	h := hashsig.NewHasher()
+	h.Write(newViewDomain)
+	h.Write(wire.AppendUint64(nil, m.View))
+	h.Write(wire.AppendUint32(nil, uint32(m.Replica)))
+	for i := range m.VCs {
+		d := m.VCs[i].SigningDigest()
+		h.Write(d[:])
+		h.Write(wire.AppendBytes(nil, m.VCs[i].Sig))
+	}
+	var d hashsig.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Verify reports whether the new-view carries a valid signature by pub.
+func (m *NewView) Verify(pub *hashsig.PublicKey) bool {
+	return pub.Verify(m.SigningDigest(), m.Sig)
+}
+
+func (m *NewView) encodeBody(w *wire.Writer) {
+	w.Uint64(m.View)
+	w.Uint32(uint32(m.Replica))
+	w.Uint32(uint32(len(m.VCs)))
+	for i := range m.VCs {
+		m.VCs[i].encodeBody(w)
+	}
+	w.Bytes(m.Sig)
+}
+
+func decodeNewView(r *wire.Reader) *NewView {
+	m := &NewView{
+		View:    r.Uint64(),
+		Replica: ReplicaID(r.Uint32()),
+	}
+	n := r.Uint32()
+	if r.Err() == nil && n > maxViewChanges {
+		r.Fail(fmt.Errorf("%w: %d view-changes", ErrBadMessage, n))
+		return m
+	}
+	m.VCs = make([]ViewChange, 0, min(n, 64))
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		m.VCs = append(m.VCs, *decodeViewChange(r))
+	}
+	m.Sig = r.Bytes(ledger.MaxSigLen)
+	return m
+}
+
+// EncodeMessage serializes a message as one self-describing frame: the type
+// tag byte, then the body in the deterministic wire codec.
+func EncodeMessage(m Message) []byte {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	w.Uint32(uint32(m.Type()))
+	m.encodeBody(w)
+	if err := w.Flush(); err != nil {
+		// Writing to a bytes.Buffer never fails.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// DecodeMessage parses a frame produced by EncodeMessage. Malformed and
+// hostile inputs — unknown tags, truncation, oversized counts, trailing
+// garbage — return an error, never panic.
+func DecodeMessage(b []byte) (Message, error) {
+	r := wire.NewReader(bytes.NewReader(b))
+	var m Message
+	tag := r.Uint32()
+	if r.Err() == nil && tag > uint32(MsgNewView) {
+		// Reject out-of-range tags on the full 32 bits: a silent truncation
+		// to MsgType's underlying byte would let distinct frames decode to
+		// the same message, breaking canonical encoding.
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, tag)
+	}
+	switch t := MsgType(tag); t {
+	case MsgPrePrepare:
+		m = decodePrePrepare(r)
+	case MsgPrepare:
+		m = decodePrepare(r)
+	case MsgCommit:
+		m = decodeCommit(r)
+	case MsgViewChange:
+		m = decodeViewChange(r)
+	case MsgNewView:
+		m = decodeNewView(r)
+	default:
+		if r.Err() == nil {
+			return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)
+		}
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return m, nil
+}

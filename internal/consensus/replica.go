@@ -1,0 +1,1049 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+var (
+	// ErrConfig reports an invalid replica configuration.
+	ErrConfig = errors.New("consensus: config needs >= 4 peers, a matching key, and an app")
+	// ErrNotPrimary reports a Propose call on a replica that is not the
+	// primary of the current view, or not in a position to propose.
+	ErrNotPrimary = errors.New("consensus: replica cannot propose now")
+	// ErrInvalid reports a message that failed validation (bad signature,
+	// wrong primary, malformed proof). Invalid messages never change state.
+	ErrInvalid = errors.New("consensus: invalid message")
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this replica's index; Peers[ID] must be Key's public half.
+	ID ReplicaID
+	// Key signs batch headers and protocol messages. One key per replica,
+	// shared with its ledger, so blame evidence names the same identity the
+	// ledger's signed headers do.
+	Key *hashsig.PrivateKey
+	// Peers holds every replica's public key, indexed by ReplicaID. The
+	// configuration tolerates f = (len(Peers)-1)/3 faults.
+	Peers []*hashsig.PublicKey
+	// App executes transaction payloads (must be deterministic).
+	App ledger.App
+	// CheckpointEvery and Shards parameterize the underlying ledger.
+	CheckpointEvery uint64
+	Shards          uint32
+}
+
+// slotKey identifies one proposal slot for equivocation detection.
+type slotKey struct {
+	view uint64
+	seq  uint64
+}
+
+// instance is the in-flight consensus instance. A replica runs at most one
+// at a time (proposal window of 1): either the batch at committed+1, or a
+// "re-ack" of the already-committed batch when a new primary re-proposes it
+// so laggards can finish (seq == committed).
+type instance struct {
+	prop         *Proposal
+	headerDigest hashsig.Digest // prop.Header.SigningDigest()
+	propDigest   hashsig.Digest // prop.SigningDigest()
+	entries      []ledger.Entry
+	ownHeader    *ledger.BatchHeader
+	nonce        hashsig.Nonce // own commit nonce
+	// passive marks a catch-up instance replayed from an older view's
+	// traffic: the replica executes and collects, but emits nothing, and
+	// commits only on a full quorum of openings.
+	passive bool
+	// reack marks an instance for a seq this replica already committed.
+	reack bool
+	// prepMsgs holds the valid prepares seen, by backup (never the
+	// primary, whose endorsement and nonce commitment ride in prop).
+	prepMsgs map[ReplicaID]*Prepare
+	// opens holds revealed nonces, validated against commitments lazily.
+	opens        map[ReplicaID]hashsig.Nonce
+	preparedCert bool
+	// own messages, kept for retransmission.
+	ownPrePrepare *PrePrepare
+	ownPrepare    *Prepare
+	ownCommit     *Commit
+}
+
+// endorsers counts distinct replicas backing the proposal: the primary via
+// its proposal signature plus one per valid prepare.
+func (in *instance) endorsers() int { return 1 + len(in.prepMsgs) }
+
+// commitment returns the nonce commitment replica id announced for this
+// instance, if known.
+func (in *instance) commitment(id ReplicaID) (hashsig.Digest, bool) {
+	if id == in.prop.Primary {
+		return in.prop.NonceCommit, true
+	}
+	if p, ok := in.prepMsgs[id]; ok {
+		return p.NonceCommit, true
+	}
+	return hashsig.Digest{}, false
+}
+
+// openedQuorum counts distinct replicas whose revealed nonce opens their
+// announced commitment.
+func (in *instance) openedQuorum() int {
+	n := 0
+	for id, nonce := range in.opens {
+		if c, ok := in.commitment(id); ok && nonce.Opens(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Replica is one L-PBFT replica: a ledger plus the protocol state machine.
+// It is single-threaded, like the replica loop it models: callers feed it
+// one message at a time and broadcast whatever it returns.
+type Replica struct {
+	cfg    Config
+	n      int
+	f      int
+	quorum int // 2f+1
+	led    *ledger.Ledger
+
+	view      uint64
+	committed uint64 // highest committed batch seq (0 = none)
+	cur       *instance
+
+	// lastCommit retains the proof for the latest committed batch, carried
+	// in view-changes to certify CommittedSeq.
+	lastCommit *CommitCert
+
+	// view-change state
+	inViewChange bool
+	vcTarget     uint64
+	ownVC        *ViewChange
+	vcs          map[uint64]map[ReplicaID]*ViewChange
+	lastNewView  *NewView
+	// mustRepropose pins the header digest the current view's primary is
+	// obliged to re-propose at committed+1 (from the new-view certificate).
+	mustRepropose *hashsig.Digest
+	// pendingRepropose is set on a new primary that must re-propose a
+	// prepared batch but is still catching up to its sequence number.
+	pendingRepropose *PrePrepare
+	// proposeFloor is the highest certified committed seq seen in a
+	// new-view certificate; fresh proposals stay above it.
+	proposeFloor uint64
+
+	// seen records the first valid proposal per (view, seq); a second one
+	// with a different header digest is equivocation.
+	seen     map[slotKey]*Proposal
+	evidence []*Blame
+	blamed   map[slotKey]bool
+
+	// future buffers messages that cannot be processed yet (later seq,
+	// later view, or instance not created). Bounded; oldest dropped first.
+	future []Message
+
+	// sigOK memoizes successful signature checks by signing digest, so
+	// buffered messages are not re-verified on every drain pass. Only
+	// successes are cached: a digest says nothing about a failed signature.
+	sigOK map[hashsig.Digest]bool
+}
+
+// maxFuture bounds the out-of-order buffer.
+const maxFuture = 1 << 14
+
+// New returns a replica with a fresh ledger.
+func New(cfg Config) (*Replica, error) {
+	n := len(cfg.Peers)
+	if n < 4 || cfg.Key == nil || int(cfg.ID) >= n {
+		return nil, ErrConfig
+	}
+	if cfg.Peers[cfg.ID] == nil || !cfg.Peers[cfg.ID].Equal(cfg.Key.Public()) {
+		return nil, fmt.Errorf("%w: Peers[%d] is not Key's public half", ErrConfig, cfg.ID)
+	}
+	led, err := ledger.New(ledger.Config{
+		Key:             cfg.Key,
+		App:             cfg.App,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Shards:          cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := (n - 1) / 3
+	return &Replica{
+		cfg:    cfg,
+		n:      n,
+		f:      f,
+		quorum: 2*f + 1,
+		led:    led,
+		vcs:    make(map[uint64]map[ReplicaID]*ViewChange),
+		seen:   make(map[slotKey]*Proposal),
+		blamed: make(map[slotKey]bool),
+		sigOK:  make(map[hashsig.Digest]bool),
+	}, nil
+}
+
+// ID returns this replica's index.
+func (r *Replica) ID() ReplicaID { return r.cfg.ID }
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// Committed returns the highest committed batch sequence number (0 before
+// the first commit).
+func (r *Replica) Committed() uint64 { return r.committed }
+
+// Ledger exposes the replica's ledger (read-only use by callers).
+func (r *Replica) Ledger() *ledger.Ledger { return r.led }
+
+// Evidence returns the blame objects collected so far, as a fresh slice.
+func (r *Replica) Evidence() []*Blame {
+	return append([]*Blame(nil), r.evidence...)
+}
+
+// DebugState renders the replica's protocol coordinates for harness
+// failure reports.
+func (r *Replica) DebugState() string {
+	cur := "idle"
+	if in := r.cur; in != nil {
+		cur = fmt.Sprintf("inst{view %d seq %d passive %v reack %v prepared %v endorsers %d opens %d}",
+			in.prop.View, in.prop.Seq(), in.passive, in.reack, in.preparedCert, in.endorsers(), len(in.opens))
+	}
+	mrp := "-"
+	if r.mustRepropose != nil {
+		mrp = r.mustRepropose.String()
+	}
+	return fmt.Sprintf("replica %d: view %d committed %d vc %v(target %d) floor %d mustRepropose %s pending %v future %d %s",
+		r.cfg.ID, r.view, r.committed, r.inViewChange, r.vcTarget, r.proposeFloor,
+		mrp, r.pendingRepropose != nil, len(r.future), cur)
+}
+
+// primaryOf returns the primary of view v.
+func (r *Replica) primaryOf(v uint64) ReplicaID { return ReplicaID(v % uint64(r.n)) }
+
+// IsPrimary reports whether this replica leads the current view.
+func (r *Replica) IsPrimary() bool { return r.primaryOf(r.view) == r.cfg.ID }
+
+// Idle reports whether the replica could start a new instance: no batch in
+// flight, no view change pending, no re-proposal obligation, and caught up
+// to every certified commit it knows about.
+func (r *Replica) Idle() bool {
+	return r.cur == nil && !r.inViewChange && r.mustRepropose == nil &&
+		r.pendingRepropose == nil && r.committed >= r.proposeFloor
+}
+
+// Propose executes reqs as the next batch and returns the pre-prepare to
+// broadcast plus the client receipts. Only the idle primary may propose.
+func (r *Replica) Propose(reqs []ledger.Request) (*PrePrepare, []ledger.Receipt, error) {
+	if !r.IsPrimary() || !r.Idle() {
+		return nil, nil, ErrNotPrimary
+	}
+	batch, receipts, err := r.led.ExecuteBatch(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	pp := r.proposeBatch(batch)
+	return pp, receipts, nil
+}
+
+// proposeBatch wraps an already-executed batch (ExecuteBatch or ApplyBatch
+// output adopted into the ledger) into a proposal and opens the instance.
+func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
+	nonce := hashsig.NewNonce()
+	prop := &Proposal{
+		View:        r.view,
+		Primary:     r.cfg.ID,
+		Header:      batch.Header,
+		NonceCommit: nonce.Commit(),
+	}
+	prop.Sig = r.cfg.Key.MustSign(prop.SigningDigest())
+	pp := &PrePrepare{Prop: *prop, Entries: batch.Entries}
+	r.seen[slotKey{prop.View, prop.Seq()}] = prop
+	r.cur = &instance{
+		prop:          prop,
+		headerDigest:  prop.Header.SigningDigest(),
+		propDigest:    prop.SigningDigest(),
+		entries:       batch.Entries,
+		ownHeader:     &batch.Header,
+		nonce:         nonce,
+		reack:         prop.Seq() <= r.committed,
+		prepMsgs:      make(map[ReplicaID]*Prepare),
+		opens:         make(map[ReplicaID]hashsig.Nonce),
+		ownPrePrepare: pp,
+	}
+	return pp
+}
+
+// Handle processes one message and returns the messages to broadcast in
+// response. Invalid messages return ErrInvalid-wrapped errors and change no
+// state; stale or not-yet-processable messages return nil.
+func (r *Replica) Handle(m Message) ([]Message, error) {
+	var out []Message
+	before := r.stamp()
+	err := r.handle(m, &out)
+	if r.stamp() != before {
+		// Only a state transition can make buffered messages processable.
+		r.drainFuture(&out)
+	}
+	return out, err
+}
+
+// maxSigCache bounds the verified-signature memo; on overflow the whole map
+// is dropped and re-verification costs are paid again, which only hurts the
+// buffered-message drain, never correctness.
+const maxSigCache = 1 << 16
+
+// verifyCached checks sig over d by pub, memoizing successes.
+func (r *Replica) verifyCached(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool {
+	if r.sigOK[d] {
+		return true
+	}
+	if !pub.Verify(d, sig) {
+		return false
+	}
+	if len(r.sigOK) >= maxSigCache {
+		r.sigOK = make(map[hashsig.Digest]bool)
+	}
+	r.sigOK[d] = true
+	return true
+}
+
+// stateStamp summarizes the coordinates that gate message processability.
+type stateStamp struct {
+	view      uint64
+	committed uint64
+	curSet    bool
+	inVC      bool
+}
+
+func (r *Replica) stamp() stateStamp {
+	return stateStamp{r.view, r.committed, r.cur != nil, r.inViewChange}
+}
+
+// drainFuture re-feeds buffered messages for as long as doing so advances
+// the replica. Messages that are still premature re-buffer themselves.
+func (r *Replica) drainFuture(out *[]Message) {
+	for {
+		if len(r.future) == 0 {
+			return
+		}
+		st := r.stamp()
+		pending := r.future
+		r.future = nil
+		for _, m := range pending {
+			// Errors from buffered messages were either already reported at
+			// receipt time or are stale-view artifacts; drop them.
+			_ = r.handle(m, out)
+		}
+		if r.stamp() == st {
+			return
+		}
+	}
+}
+
+func (r *Replica) buffer(m Message) {
+	if len(r.future) >= maxFuture {
+		r.future = r.future[1:]
+	}
+	r.future = append(r.future, m)
+}
+
+func (r *Replica) handle(m Message, out *[]Message) error {
+	switch msg := m.(type) {
+	case *PrePrepare:
+		return r.handlePrePrepare(msg, out)
+	case *Prepare:
+		return r.handlePrepare(msg, out)
+	case *Commit:
+		return r.handleCommit(msg, out)
+	case *ViewChange:
+		return r.handleViewChange(msg, out)
+	case *NewView:
+		return r.handleNewView(msg, out)
+	default:
+		return fmt.Errorf("%w: unknown message %T", ErrInvalid, m)
+	}
+}
+
+// checkEquivocation records prop as the canonical proposal for its slot, or
+// — if a different proposal already holds the slot — captures blame against
+// the primary and reports the conflict.
+func (r *Replica) checkEquivocation(prop *Proposal) bool {
+	key := slotKey{prop.View, prop.Seq()}
+	if key.seq > r.committed+1 {
+		// Outside the proposal window: the message gets buffered and
+		// re-checked once in range. Recording it now would let a Byzantine
+		// peer grow the map without bound by signing far-future slots.
+		return false
+	}
+	prev, ok := r.seen[key]
+	if !ok {
+		r.seen[key] = prop
+		return false
+	}
+	if prev.Header.SigningDigest() == prop.Header.SigningDigest() {
+		return false
+	}
+	if !r.blamed[key] {
+		if bl := blameFrom(prev, prop, r.cfg.Peers[prop.Primary]); bl != nil {
+			r.blamed[key] = true
+			r.evidence = append(r.evidence, bl)
+		}
+	}
+	return true
+}
+
+// validateProposal checks a proposal's provenance: right primary for its
+// view, valid proposal signature, valid header signature by the same key.
+func (r *Replica) validateProposal(prop *Proposal) error {
+	if int(prop.Primary) >= r.n || prop.Primary != r.primaryOf(prop.View) {
+		return fmt.Errorf("%w: proposal from %d for view %d", ErrInvalid, prop.Primary, prop.View)
+	}
+	pub := r.cfg.Peers[prop.Primary]
+	if !r.verifyCached(prop.SigningDigest(), prop.Sig, pub) {
+		return fmt.Errorf("%w: bad proposal signature", ErrInvalid)
+	}
+	if !r.verifyCached(prop.Header.SigningDigest(), prop.Header.Sig, pub) {
+		return fmt.Errorf("%w: bad header signature", ErrInvalid)
+	}
+	return nil
+}
+
+func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
+	prop := &pp.Prop
+	if err := r.validateProposal(prop); err != nil {
+		return err
+	}
+	seq := prop.Seq()
+	if seq < r.committed || (seq == r.committed && seq == 0) {
+		return nil // stale
+	}
+	if prop.View > r.view {
+		r.buffer(pp)
+		return nil
+	}
+	if r.checkEquivocation(prop) {
+		return fmt.Errorf("%w: equivocating proposal at view %d seq %d", ErrInvalid, prop.View, seq)
+	}
+	if r.inViewChange {
+		// Park it: if the view change lands us past this proposal's view,
+		// the batch may still commit passively from its quorum's traffic.
+		r.buffer(pp)
+		return nil
+	}
+
+	if prop.View == r.view && seq == r.committed {
+		// Re-proposal of a batch we already committed (a new primary helping
+		// laggards finish): participate from our stored copy, no re-execution.
+		return r.startReack(pp, out)
+	}
+	if seq != r.committed+1 {
+		r.buffer(pp)
+		return nil
+	}
+
+	passive := prop.View < r.view
+	if r.cur != nil {
+		if r.cur.prop.View == prop.View && r.cur.headerDigest == prop.Header.SigningDigest() {
+			// Duplicate delivery; stragglers pull resends via Retransmit
+			// (re-emitting here would echo-amplify every broadcast).
+			return nil
+		}
+		if passive {
+			return nil // one catch-up instance at a time; first wins
+		}
+		if !r.cur.passive && !r.cur.reack && r.cur.prop.View == prop.View {
+			return nil // conflicting same-view proposal; blame recorded above
+		}
+		// A current-view proposal replaces a passive or re-ack instance.
+		r.abandonInstance()
+	}
+	if !passive && r.mustRepropose != nil && prop.Header.SigningDigest() != *r.mustRepropose {
+		return fmt.Errorf("%w: view %d primary must re-propose the prepared batch", ErrInvalid, r.view)
+	}
+
+	ownHeader, err := r.led.ApplyBatch(pp.Batch())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	nonce := hashsig.NewNonce()
+	in := &instance{
+		prop:         prop,
+		headerDigest: prop.Header.SigningDigest(),
+		propDigest:   prop.SigningDigest(),
+		entries:      pp.Entries,
+		ownHeader:    ownHeader, // our own signature over the same commitments
+		nonce:        nonce,
+		passive:      passive,
+		prepMsgs:     make(map[ReplicaID]*Prepare),
+		opens:        make(map[ReplicaID]hashsig.Nonce),
+	}
+	r.cur = in
+	if !passive {
+		r.mustRepropose = nil
+		prep := &Prepare{Replica: r.cfg.ID, Prop: *prop, NonceCommit: nonce.Commit()}
+		prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
+		in.ownPrepare = prep
+		in.prepMsgs[r.cfg.ID] = prep
+		*out = append(*out, prep)
+	}
+	r.checkPrepared(out)
+	r.checkCommitted(out)
+	return nil
+}
+
+// startReack opens a participation-only instance for a batch this replica
+// already committed, so replicas that missed the original round can gather
+// a quorum in the new view.
+func (r *Replica) startReack(pp *PrePrepare, out *[]Message) error {
+	digest := pp.Prop.Header.SigningDigest()
+	ownBatch := r.committedBatch()
+	if ownBatch == nil || ownBatch.Header.SigningDigest() != digest {
+		return fmt.Errorf("%w: re-proposal conflicts with committed batch %d", ErrInvalid, pp.Prop.Seq())
+	}
+	if r.cur != nil {
+		if r.cur.prop.View == pp.Prop.View && r.cur.headerDigest == digest {
+			return nil // duplicate delivery
+		}
+		if !r.cur.passive && !r.cur.reack {
+			return nil
+		}
+		r.abandonInstance()
+	}
+	prop := &pp.Prop
+	nonce := hashsig.NewNonce()
+	in := &instance{
+		prop:         prop,
+		headerDigest: digest,
+		propDigest:   prop.SigningDigest(),
+		entries:      pp.Entries,
+		ownHeader:    &ownBatch.Header,
+		nonce:        nonce,
+		reack:        true,
+		prepMsgs:     make(map[ReplicaID]*Prepare),
+		opens:        make(map[ReplicaID]hashsig.Nonce),
+	}
+	r.cur = in
+	prep := &Prepare{Replica: r.cfg.ID, Prop: *prop, NonceCommit: nonce.Commit()}
+	prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
+	in.ownPrepare = prep
+	in.prepMsgs[r.cfg.ID] = prep
+	*out = append(*out, prep)
+	r.checkPrepared(out)
+	return nil
+}
+
+// committedBatch returns this replica's stored batch for the committed seq,
+// or nil.
+func (r *Replica) committedBatch() *ledger.Batch {
+	batches := r.led.Batches()
+	for i := len(batches) - 1; i >= 0; i-- {
+		if batches[i].Header.Seq == r.committed {
+			return batches[i]
+		}
+	}
+	return nil
+}
+
+// abandonInstance discards the in-flight instance, rolling back any
+// speculative execution it put in the ledger (Lemma 1).
+func (r *Replica) abandonInstance() {
+	if r.cur == nil {
+		return
+	}
+	if r.led.Seq() > r.committed+1 {
+		if err := r.led.RollbackTo(r.committed + 1); err != nil {
+			// The mark exists: every executed batch leaves one, and marks at
+			// or above the committed boundary are never pruned.
+			panic(err)
+		}
+	}
+	r.cur = nil
+}
+
+func (r *Replica) handlePrepare(p *Prepare, out *[]Message) error {
+	prop := &p.Prop
+	if err := r.validateProposal(prop); err != nil {
+		return err
+	}
+	if int(p.Replica) >= r.n || p.Replica == prop.Primary {
+		return fmt.Errorf("%w: prepare from %d", ErrInvalid, p.Replica)
+	}
+	if !r.verifyCached(p.SigningDigest(), p.Sig, r.cfg.Peers[p.Replica]) {
+		return fmt.Errorf("%w: bad prepare signature", ErrInvalid)
+	}
+	seq := prop.Seq()
+	if seq < r.committed || (seq == r.committed && r.cur == nil) {
+		return nil
+	}
+	if prop.View > r.view {
+		r.buffer(p)
+		return nil
+	}
+	r.checkEquivocation(prop)
+	if r.inViewChange {
+		r.buffer(p)
+		return nil
+	}
+	if r.cur == nil || r.cur.propDigest != prop.SigningDigest() {
+		if seq > r.committed {
+			r.buffer(p)
+		}
+		return nil
+	}
+	if _, dup := r.cur.prepMsgs[p.Replica]; !dup {
+		r.cur.prepMsgs[p.Replica] = p
+	}
+	r.checkPrepared(out)
+	r.checkCommitted(out)
+	return nil
+}
+
+func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
+	if int(c.Replica) >= r.n {
+		return fmt.Errorf("%w: commit from %d", ErrInvalid, c.Replica)
+	}
+	if c.Seq < r.committed || (c.Seq == r.committed && r.cur == nil) {
+		return nil
+	}
+	if c.View > r.view {
+		r.buffer(c)
+		return nil
+	}
+	if r.inViewChange {
+		r.buffer(c)
+		return nil
+	}
+	if r.cur == nil || r.cur.prop.View != c.View || r.cur.headerDigest != c.HeaderDigest ||
+		r.cur.prop.Seq() != c.Seq {
+		if c.Seq > r.committed {
+			r.buffer(c)
+		}
+		return nil
+	}
+	// The nonce authenticates itself: it must open the commitment c.Replica
+	// announced. Commits are unsigned, so the Replica field is spoofable —
+	// never let a garbage nonce squat on an honest replica's slot: when the
+	// commitment is known, only an opening nonce is recorded, and a stored
+	// non-opening nonce is replaced by one that opens (genuine commits are
+	// retransmitted, so a spoof that raced in first cannot block quorum).
+	if cm, known := r.cur.commitment(c.Replica); known {
+		if c.Nonce.Opens(cm) {
+			r.cur.opens[c.Replica] = c.Nonce
+		}
+	} else if _, dup := r.cur.opens[c.Replica]; !dup {
+		// Commitment not yet seen (prepare still in flight): hold the
+		// candidate; openedQuorum validates it once the commitment lands.
+		r.cur.opens[c.Replica] = c.Nonce
+	}
+	r.checkCommitted(out)
+	return nil
+}
+
+// checkPrepared fires once 2f+1 distinct replicas back the proposal: the
+// replica reveals its nonce in an unsigned commit message (Lemma 3).
+func (r *Replica) checkPrepared(out *[]Message) {
+	in := r.cur
+	if in == nil || in.preparedCert || in.passive || in.endorsers() < r.quorum {
+		return
+	}
+	in.preparedCert = true
+	cm := &Commit{
+		View:         in.prop.View,
+		Replica:      r.cfg.ID,
+		Seq:          in.prop.Seq(),
+		HeaderDigest: in.headerDigest,
+		Nonce:        in.nonce,
+	}
+	in.ownCommit = cm
+	in.opens[r.cfg.ID] = in.nonce
+	*out = append(*out, cm)
+}
+
+// checkCommitted fires once 2f+1 distinct replicas opened their
+// commitments: the batch is final.
+func (r *Replica) checkCommitted(out *[]Message) {
+	in := r.cur
+	if in == nil || in.openedQuorum() < r.quorum {
+		return
+	}
+	seq := in.prop.Seq()
+	cert := r.buildCommitCert(in)
+	if seq > r.committed {
+		r.committed = seq
+		r.lastCommit = cert
+		r.led.PruneMarks(seq)
+		// Blame slots at or below the committed boundary stay recorded (the
+		// evidence keeps its value), but the seen map is pruned to bound it.
+		for k := range r.seen {
+			if k.seq < seq {
+				delete(r.seen, k)
+			}
+		}
+	}
+	r.cur = nil
+	if r.pendingRepropose != nil && r.pendingRepropose.Prop.Seq() == r.committed+1 {
+		pp := r.pendingRepropose
+		r.pendingRepropose = nil
+		r.reproposePrepared(pp, out)
+	}
+}
+
+// buildCommitCert assembles the proof that the instance committed.
+func (r *Replica) buildCommitCert(in *instance) *CommitCert {
+	cert := &CommitCert{Prop: *in.prop}
+	ids := make([]int, 0, len(in.prepMsgs))
+	for id := range in.prepMsgs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cert.Prepares = append(cert.Prepares, *in.prepMsgs[ReplicaID(id)])
+	}
+	ids = ids[:0]
+	for id := range in.opens {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cert.Opens = append(cert.Opens, NonceOpen{Replica: ReplicaID(id), Nonce: in.opens[ReplicaID(id)]})
+	}
+	return cert
+}
+
+// OnTimeout abandons the current view and broadcasts a view change for the
+// next one. Callers invoke it when progress has stalled; repeated calls
+// escalate the target view.
+func (r *Replica) OnTimeout() []Message {
+	target := r.view + 1
+	if r.inViewChange && r.vcTarget >= target {
+		target = r.vcTarget + 1
+	}
+	return r.startViewChange(target)
+}
+
+// startViewChange emits this replica's view-change for the target view.
+func (r *Replica) startViewChange(target uint64) []Message {
+	r.inViewChange = true
+	r.vcTarget = target
+	vc := &ViewChange{
+		NewView:      target,
+		Replica:      r.cfg.ID,
+		CommittedSeq: r.committed,
+		CommitProof:  r.lastCommit,
+	}
+	if in := r.cur; in != nil && in.preparedCert && !in.reack && in.prop.Seq() > r.committed {
+		vc.Prepared = &PrePrepare{Prop: *in.prop, Entries: in.entries}
+		ids := make([]int, 0, len(in.prepMsgs))
+		for id := range in.prepMsgs {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			vc.PrepareProof = append(vc.PrepareProof, *in.prepMsgs[ReplicaID(id)])
+		}
+	}
+	vc.Sig = r.cfg.Key.MustSign(vc.SigningDigest())
+	r.ownVC = vc
+	r.recordViewChange(vc)
+	out := []Message{vc}
+	r.maybeEmitNewView(target, &out)
+	return out
+}
+
+// validateViewChange checks a view-change's signature and both proofs.
+func (r *Replica) validateViewChange(vc *ViewChange) error {
+	if int(vc.Replica) >= r.n {
+		return fmt.Errorf("%w: view-change from %d", ErrInvalid, vc.Replica)
+	}
+	if !r.verifyCached(vc.SigningDigest(), vc.Sig, r.cfg.Peers[vc.Replica]) {
+		return fmt.Errorf("%w: bad view-change signature", ErrInvalid)
+	}
+	if vc.CommittedSeq > 0 {
+		if vc.CommitProof == nil || vc.CommitProof.Seq() != vc.CommittedSeq ||
+			!vc.CommitProof.verify(r.cfg.Peers, r.quorum, r.verifyCached) {
+			return fmt.Errorf("%w: uncertified committed seq %d", ErrInvalid, vc.CommittedSeq)
+		}
+	}
+	if vc.Prepared != nil {
+		prop := &vc.Prepared.Prop
+		if prop.Seq() != vc.CommittedSeq+1 || prop.View >= vc.NewView {
+			return fmt.Errorf("%w: prepared batch out of place", ErrInvalid)
+		}
+		if err := r.validateProposal(prop); err != nil {
+			return err
+		}
+		// The entries ride outside every signature (the view-change binds
+		// only the proposal digest), so check they reproduce the signed ¯G:
+		// a relayed certificate with tampered entries must not reach the
+		// new primary, which would fail to re-execute it and stall the view.
+		if err := ledger.CheckBatchShape(vc.Prepared.Batch()); err != nil {
+			return fmt.Errorf("%w: prepared batch entries do not match header: %v", ErrInvalid, err)
+		}
+		endorsers := map[ReplicaID]bool{prop.Primary: true}
+		d := prop.SigningDigest()
+		for i := range vc.PrepareProof {
+			p := &vc.PrepareProof[i]
+			if int(p.Replica) >= r.n || p.Replica == prop.Primary {
+				continue
+			}
+			if p.Prop.SigningDigest() != d || !r.verifyCached(p.SigningDigest(), p.Sig, r.cfg.Peers[p.Replica]) {
+				return fmt.Errorf("%w: bad prepare proof", ErrInvalid)
+			}
+			endorsers[p.Replica] = true
+		}
+		if len(endorsers) < r.quorum {
+			return fmt.Errorf("%w: prepared claim backed by %d < %d replicas", ErrInvalid, len(endorsers), r.quorum)
+		}
+	}
+	return nil
+}
+
+func (r *Replica) recordViewChange(vc *ViewChange) {
+	byID, ok := r.vcs[vc.NewView]
+	if !ok {
+		byID = make(map[ReplicaID]*ViewChange)
+		r.vcs[vc.NewView] = byID
+	}
+	if _, dup := byID[vc.Replica]; !dup {
+		byID[vc.Replica] = vc
+	}
+}
+
+// maxViewAhead bounds how far above the local view-change target incoming
+// view-changes are retained; honest targets escalate one view per timeout,
+// so anything far beyond is a Byzantine attempt to grow the vcs map.
+const maxViewAhead = 64
+
+func (r *Replica) handleViewChange(vc *ViewChange, out *[]Message) error {
+	if vc.NewView <= r.view {
+		return nil
+	}
+	if vc.NewView > max(r.view, r.vcTarget)+maxViewAhead {
+		return fmt.Errorf("%w: view-change for view %d is too far ahead", ErrInvalid, vc.NewView)
+	}
+	if err := r.validateViewChange(vc); err != nil {
+		return err
+	}
+	if vc.Prepared != nil {
+		r.checkEquivocation(&vc.Prepared.Prop)
+	}
+	r.recordViewChange(vc)
+	// Join rule: f+1 distinct replicas already gave up on our view — at
+	// least one is honest, so follow rather than stay behind.
+	if !r.inViewChange || r.vcTarget < vc.NewView {
+		if len(r.vcs[vc.NewView]) >= r.f+1 {
+			*out = append(*out, r.startViewChange(vc.NewView)...)
+			return nil
+		}
+	}
+	r.maybeEmitNewView(vc.NewView, out)
+	return nil
+}
+
+// maybeEmitNewView builds and broadcasts the new-view certificate once this
+// replica is the target view's primary and holds a quorum of view-changes.
+func (r *Replica) maybeEmitNewView(v uint64, out *[]Message) {
+	if r.primaryOf(v) != r.cfg.ID || v <= r.view {
+		return
+	}
+	byID := r.vcs[v]
+	if len(byID) < r.quorum {
+		return
+	}
+	nv := &NewView{View: v, Replica: r.cfg.ID}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		nv.VCs = append(nv.VCs, *byID[ReplicaID(id)])
+	}
+	nv.Sig = r.cfg.Key.MustSign(nv.SigningDigest())
+	r.lastNewView = nv
+	*out = append(*out, nv)
+	r.enterView(nv, out)
+}
+
+func (r *Replica) handleNewView(nv *NewView, out *[]Message) error {
+	if nv.View <= r.view {
+		return nil
+	}
+	if int(nv.Replica) >= r.n || nv.Replica != r.primaryOf(nv.View) {
+		return fmt.Errorf("%w: new-view from %d", ErrInvalid, nv.Replica)
+	}
+	if !r.verifyCached(nv.SigningDigest(), nv.Sig, r.cfg.Peers[nv.Replica]) {
+		return fmt.Errorf("%w: bad new-view signature", ErrInvalid)
+	}
+	seen := map[ReplicaID]bool{}
+	for i := range nv.VCs {
+		vc := &nv.VCs[i]
+		if vc.NewView != nv.View {
+			return fmt.Errorf("%w: certificate mixes views", ErrInvalid)
+		}
+		if err := r.validateViewChange(vc); err != nil {
+			return err
+		}
+		seen[vc.Replica] = true
+	}
+	if len(seen) < r.quorum {
+		return fmt.Errorf("%w: new-view backed by %d < %d replicas", ErrInvalid, len(seen), r.quorum)
+	}
+	r.enterView(nv, out)
+	return nil
+}
+
+// enterView moves the replica into nv.View: speculative execution is rolled
+// back to the committed boundary (Lemma 1), and the certificate determines
+// both the commit high-water mark and the prepared batch the new primary is
+// bound to re-propose.
+func (r *Replica) enterView(nv *NewView, out *[]Message) {
+	v := nv.View
+	maxCommitted := uint64(0)
+	var chosen *PrePrepare
+	for i := range nv.VCs {
+		vc := &nv.VCs[i]
+		if vc.CommittedSeq > maxCommitted {
+			maxCommitted = vc.CommittedSeq
+		}
+	}
+	for i := range nv.VCs {
+		pp := nv.VCs[i].Prepared
+		if pp == nil || pp.Prop.Seq() != maxCommitted+1 {
+			continue
+		}
+		if chosen == nil || pp.Prop.View < chosen.Prop.View {
+			// Prefer the earliest view's certificate deterministically; two
+			// genuine prepared certificates for one seq can only disagree
+			// across views, and re-execution makes their headers identical,
+			// so either choice re-proposes the same commitments.
+			chosen = pp
+		}
+	}
+
+	r.view = v
+	r.inViewChange = false
+	r.vcTarget = v
+	r.ownVC = nil
+	for tv := range r.vcs {
+		if tv <= v {
+			delete(r.vcs, tv)
+		}
+	}
+	if in := r.cur; in != nil {
+		if in.prop.Seq() <= r.committed {
+			r.cur = nil // a re-ack of the old view; nothing speculative to undo
+		} else {
+			// Keep the speculation as a passive catch-up instance rather
+			// than rolling it back outright: if its batch committed in the
+			// old view, the openings already collected (and those still in
+			// flight) complete it without any new-view traffic. A
+			// conflicting re-proposal in the new view replaces it, rolling
+			// the speculation back at that point (Lemma 1).
+			in.passive = true
+		}
+	}
+	r.mustRepropose = nil
+	r.pendingRepropose = nil
+	if maxCommitted > r.proposeFloor {
+		r.proposeFloor = maxCommitted
+	}
+
+	isPrimary := r.primaryOf(v) == r.cfg.ID
+	if chosen != nil {
+		d := chosen.Prop.Header.SigningDigest()
+		if chosen.Prop.Seq() == r.committed+1 {
+			r.mustRepropose = &d
+		}
+		if isPrimary {
+			r.reproposePrepared(chosen, out)
+		}
+	} else if isPrimary {
+		// Leading a view with no surviving prepared batch: a leftover
+		// passive instance can never complete (its batch demonstrably has
+		// no prepared quorum, or it would be in the certificate), so clear
+		// it rather than letting it block proposals.
+		r.abandonInstance()
+		if r.committed >= maxCommitted && r.committed > 0 {
+			// Laggards may still need a quorum for the last committed batch
+			// in this view: re-propose it.
+			if b := r.committedBatch(); b != nil {
+				*out = append(*out, r.proposeBatch(b))
+			}
+		}
+	}
+}
+
+// reproposePrepared is the new primary's obligation: re-execute and
+// re-propose the prepared batch from the view-change certificate. If the
+// primary is still behind that sequence number it parks the batch and
+// re-proposes as soon as it catches up.
+func (r *Replica) reproposePrepared(pp *PrePrepare, out *[]Message) {
+	seq := pp.Prop.Seq()
+	switch {
+	case seq <= r.committed:
+		// Already committed here; re-propose our stored copy so laggards
+		// can finish (their mustRepropose digest matches: deterministic
+		// re-execution gives byte-identical header commitments).
+		r.abandonInstance()
+		if b := r.committedBatch(); b != nil && b.Header.Seq == seq {
+			*out = append(*out, r.proposeBatch(b))
+		}
+	case seq == r.committed+1:
+		// Any passive leftover occupies the ledger slot the re-proposal
+		// needs; the re-proposal supersedes it either way.
+		r.abandonInstance()
+		batch := pp.Batch()
+		ownHeader, err := r.led.ApplyBatch(batch)
+		if err != nil {
+			// A certified prepared batch re-executes cleanly by
+			// construction; if the application is nondeterministic nothing
+			// can be proposed safely.
+			return
+		}
+		r.mustRepropose = nil
+		*out = append(*out, r.proposeBatch(&ledger.Batch{Header: *ownHeader, Entries: batch.Entries}))
+	default:
+		r.pendingRepropose = pp
+	}
+}
+
+// retransmitInstance re-emits this replica's own messages for the in-flight
+// instance.
+func (r *Replica) retransmitInstance(out *[]Message) {
+	in := r.cur
+	if in == nil {
+		return
+	}
+	if in.ownPrePrepare != nil {
+		*out = append(*out, in.ownPrePrepare)
+	}
+	if in.ownPrepare != nil {
+		*out = append(*out, in.ownPrepare)
+	}
+	if in.ownCommit != nil {
+		*out = append(*out, in.ownCommit)
+	}
+}
+
+// Retransmit returns this replica's current outbound state — the messages a
+// peer would need if earlier deliveries were lost. The simulation harness
+// calls it to model timeout-driven resends.
+func (r *Replica) Retransmit() []Message {
+	var out []Message
+	if r.inViewChange {
+		if r.ownVC != nil {
+			out = append(out, r.ownVC)
+		}
+		return out
+	}
+	if r.lastNewView != nil && r.lastNewView.View == r.view {
+		out = append(out, r.lastNewView)
+	}
+	r.retransmitInstance(&out)
+	return out
+}

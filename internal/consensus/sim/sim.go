@@ -1,0 +1,556 @@
+// Package sim is a deterministic, seed-driven simulation harness for the
+// L-PBFT consensus core: an in-memory network that reorders, delays, and
+// partitions encoded protocol messages under a single math/rand seed, with
+// scripted Byzantine behaviours (equivocating or silent primaries) and
+// safety/liveness invariants asserted after every delivery. A failing run
+// reports its seed, and re-running the same configuration with that seed
+// replays the identical schedule.
+//
+// The network model: every broadcast becomes one envelope per recipient,
+// carrying the wire-encoded frame (so every delivery exercises the codec).
+// A "dropped" delivery is re-queued at a random later position — the
+// protocol has no timers of its own, so loss is modelled as the arbitrary
+// delay a retransmitting sender produces, which preserves the eventual
+// delivery that L-PBFT (like PBFT) needs for liveness. Partitions hold
+// cross-group envelopes until the partition heals. Timeouts fire on every
+// honest replica once no commit has happened for StallTimeout deliveries,
+// modelling synchronized timer expiry.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iaccf/internal/consensus"
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+// Behaviour names a scripted fault for one replica.
+type Behaviour string
+
+const (
+	// BehaviourHonest runs the real protocol.
+	BehaviourHonest Behaviour = ""
+	// BehaviourSilent never sends or processes anything (crash fault).
+	BehaviourSilent Behaviour = "silent"
+	// BehaviourEquivocate participates honestly until its first turn as
+	// primary, then signs two conflicting batches for the same sequence
+	// number, sends one to each half of the other replicas, and goes
+	// silent. The honest replicas must both capture blame evidence naming
+	// its key and recover liveness through a view change.
+	BehaviourEquivocate Behaviour = "equivocate"
+)
+
+// Partition isolates replica groups during a step window.
+type Partition struct {
+	From, Until int // active while From <= step < Until
+	// Group maps replica -> group index; unlisted replicas are group 0.
+	Group map[consensus.ReplicaID]int
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Seed            int64
+	N               int     // replica count (3f+1); default 4
+	Shards          uint32  // ledger shard count; default 1
+	CheckpointEvery uint64  // default 2
+	Batches         int     // batches the workload commits; default 4
+	BatchSize       int     // requests per batch; default 3
+	DropRate        float64 // per-delivery probability of deferral
+	ReorderRate     float64 // probability of picking a random queued envelope
+	Partitions      []Partition
+	Byzantine       map[consensus.ReplicaID]Behaviour
+	MaxSteps        int // safety valve; default 500_000
+	StallTimeout    int // deliveries without progress before timeouts; default 400
+}
+
+func (c *Config) fill() {
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 2
+	}
+	if c.Batches == 0 {
+		c.Batches = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 3
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 500_000
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 400
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Steps     int
+	Delivered int
+	Deferred  int
+	// Committed is the final committed sequence number (identical on every
+	// honest replica; the run fails otherwise).
+	Committed uint64
+	// FinalView is the highest view an honest replica ended in.
+	FinalView uint64
+	// Blames is the union of blame evidence across honest replicas.
+	Blames []*consensus.Blame
+	// Replicas exposes the honest replicas for post-run assertions.
+	Replicas map[consensus.ReplicaID]*consensus.Replica
+}
+
+type envelope struct {
+	from, to consensus.ReplicaID
+	frame    []byte
+}
+
+// Sim is one run's state.
+type Sim struct {
+	cfg    Config
+	rng    *rand.Rand
+	keys   []*hashsig.PrivateKey
+	peers  []*hashsig.PublicKey
+	honest map[consensus.ReplicaID]*consensus.Replica
+	byz    map[consensus.ReplicaID]*byzNode
+
+	queue []envelope
+	held  []heldEnvelope // partitioned traffic awaiting heal
+
+	step       int
+	delivered  int
+	deferred   int
+	lastCommit uint64 // sum of honest committed seqs at last progress
+	stall      int
+
+	// canon pins the first-committed header digest per seq; any honest
+	// replica committing a different header for the same seq is a safety
+	// violation.
+	canon map[uint64]hashsig.Digest
+	// checked tracks how far each honest replica's committed prefix has
+	// been compared against canon.
+	checked map[consensus.ReplicaID]uint64
+}
+
+type heldEnvelope struct {
+	env     envelope
+	release int
+}
+
+// byzNode is a scripted faulty replica. The equivocator drives a real
+// replica (it must track state to forge valid batches) until it strikes.
+type byzNode struct {
+	behaviour Behaviour
+	rep       *consensus.Replica // nil for silent
+	struck    bool
+}
+
+// New builds a simulation from the config. Keys are derived from the seed
+// so distinct seeds exercise distinct key sets.
+func New(cfg Config) (*Sim, error) {
+	cfg.fill()
+	s := &Sim{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		honest:  make(map[consensus.ReplicaID]*consensus.Replica),
+		byz:     make(map[consensus.ReplicaID]*byzNode),
+		canon:   make(map[uint64]hashsig.Digest),
+		checked: make(map[consensus.ReplicaID]uint64),
+	}
+	for i := 0; i < cfg.N; i++ {
+		k := hashsig.GenerateKeyFromSeed(fmt.Sprintf("sim-%d-replica-%d", cfg.Seed, i))
+		s.keys = append(s.keys, k)
+		s.peers = append(s.peers, k.Public())
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := consensus.ReplicaID(i)
+		behaviour := cfg.Byzantine[id]
+		if behaviour == BehaviourSilent {
+			s.byz[id] = &byzNode{behaviour: behaviour}
+			continue
+		}
+		rep, err := consensus.New(consensus.Config{
+			ID:              id,
+			Key:             s.keys[i],
+			Peers:           s.peers,
+			App:             ledger.KVApp{},
+			CheckpointEvery: cfg.CheckpointEvery,
+			Shards:          cfg.Shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if behaviour == BehaviourHonest {
+			s.honest[id] = rep
+			s.checked[id] = 0
+		} else {
+			s.byz[id] = &byzNode{behaviour: behaviour, rep: rep}
+		}
+	}
+	if len(s.honest) < 3 {
+		return nil, fmt.Errorf("sim: %d honest replicas cannot form a quorum", len(s.honest))
+	}
+	return s, nil
+}
+
+// honestIDs returns the honest replica IDs in ascending order, for
+// deterministic iteration.
+func (s *Sim) honestIDs() []consensus.ReplicaID {
+	ids := make([]consensus.ReplicaID, 0, len(s.honest))
+	for id := range s.honest {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// requestsFor derives the deterministic workload for one batch: identical
+// on every proposal attempt for a sequence number, so a view change that
+// forces a re-proposal rebuilds byte-identical commitments.
+func (s *Sim) requestsFor(seq uint64) []ledger.Request {
+	return s.buildRequests(seq, "")
+}
+
+// requestsEvil is the equivocator's second variant for the same seq.
+func (s *Sim) requestsEvil(seq uint64) []ledger.Request {
+	return s.buildRequests(seq, "-evil")
+}
+
+func (s *Sim) buildRequests(seq uint64, tag string) []ledger.Request {
+	out := make([]ledger.Request, s.cfg.BatchSize)
+	for i := range out {
+		out[i] = ledger.Request{
+			Author: hashsig.Sum([]byte(fmt.Sprintf("client-%d", i%5))),
+			ReqNo:  seq*1000 + uint64(i),
+			Body: ledger.EncodeOps([]ledger.Op{{
+				Key: fmt.Sprintf("key-%d-%d%s", seq, i, tag),
+				Val: []byte(fmt.Sprintf("val-%d-%d%s", seq, i, tag)),
+			}}),
+		}
+	}
+	return out
+}
+
+// broadcast enqueues one envelope per peer (excluding the sender).
+func (s *Sim) broadcast(from consensus.ReplicaID, msgs []consensus.Message) {
+	for _, m := range msgs {
+		frame := consensus.EncodeMessage(m)
+		for i := 0; i < s.cfg.N; i++ {
+			to := consensus.ReplicaID(i)
+			if to == from {
+				continue
+			}
+			s.queue = append(s.queue, envelope{from: from, to: to, frame: frame})
+		}
+	}
+}
+
+// sendTo enqueues one targeted envelope (Byzantine senders only; honest
+// L-PBFT replicas always broadcast).
+func (s *Sim) sendTo(from, to consensus.ReplicaID, m consensus.Message) {
+	s.queue = append(s.queue, envelope{from: from, to: to, frame: consensus.EncodeMessage(m)})
+}
+
+// partitioned reports whether an envelope crosses a partition active at the
+// current step.
+func (s *Sim) partitioned(e envelope) bool {
+	for i := range s.cfg.Partitions {
+		p := &s.cfg.Partitions[i]
+		if s.step >= p.From && s.step < p.Until && p.Group[e.from] != p.Group[e.to] {
+			return true
+		}
+	}
+	return false
+}
+
+// partitionHealsAt returns the earliest step at which the envelope stops
+// crossing any active partition.
+func (s *Sim) partitionHealsAt(e envelope) int {
+	release := s.step + 1
+	for i := range s.cfg.Partitions {
+		p := &s.cfg.Partitions[i]
+		if s.step >= p.From && s.step < p.Until && p.Group[e.from] != p.Group[e.to] && p.Until > release {
+			release = p.Until
+		}
+	}
+	return release
+}
+
+// deliver hands the envelope to its recipient and broadcasts the responses.
+func (s *Sim) deliver(e envelope) error {
+	msg, err := consensus.DecodeMessage(e.frame)
+	if err != nil {
+		return fmt.Errorf("corrupt frame on the wire: %v", err)
+	}
+	if rep, ok := s.honest[e.to]; ok {
+		out, _ := rep.Handle(msg) // invalid messages are the sender's fault
+		s.broadcast(e.to, out)
+		return nil
+	}
+	if node, ok := s.byz[e.to]; ok && node.rep != nil && !node.struck {
+		out, _ := node.rep.Handle(msg)
+		s.broadcast(e.to, out)
+	}
+	return nil
+}
+
+// tick lets idle primaries propose and scripted nodes strike.
+func (s *Sim) tick() {
+	target := uint64(s.cfg.Batches)
+	for _, id := range s.honestIDs() {
+		rep := s.honest[id]
+		if rep.IsPrimary() && rep.Idle() && rep.Committed() < target {
+			pp, _, err := rep.Propose(s.requestsFor(rep.Committed() + 1))
+			if err == nil {
+				s.broadcast(id, []consensus.Message{pp})
+			}
+		}
+	}
+	for i := 0; i < s.cfg.N; i++ {
+		id := consensus.ReplicaID(i)
+		node, ok := s.byz[id]
+		if !ok || node.struck || node.behaviour != BehaviourEquivocate || node.rep == nil {
+			continue
+		}
+		rep := node.rep
+		if !rep.IsPrimary() || !rep.Idle() || rep.Committed() >= target {
+			continue
+		}
+		node.struck = true
+		s.equivocate(id, rep)
+	}
+}
+
+// equivocate signs two conflicting batches for the next seq and sends one
+// variant to each half of the other replicas.
+func (s *Sim) equivocate(id consensus.ReplicaID, rep *consensus.Replica) {
+	led := rep.Ledger()
+	seq := rep.Committed() + 1
+	mk := func(reqs []ledger.Request) *consensus.PrePrepare {
+		batch, _, err := led.ExecuteBatch(reqs)
+		if err != nil {
+			panic(err) // the deterministic workload always executes
+		}
+		nonce := hashsig.NewNonce()
+		prop := consensus.Proposal{
+			View:        rep.View(),
+			Primary:     id,
+			Header:      batch.Header,
+			NonceCommit: nonce.Commit(),
+		}
+		prop.Sig = s.keys[id].MustSign(prop.SigningDigest())
+		pp := &consensus.PrePrepare{Prop: prop, Entries: batch.Entries}
+		// Lemma 1 is the equivocator's accomplice: roll back and the ledger
+		// will happily sign a different batch for the same seq.
+		if err := led.RollbackTo(seq); err != nil {
+			panic(err)
+		}
+		return pp
+	}
+	ppA := mk(s.requestsFor(seq))
+	ppB := mk(s.requestsEvil(seq))
+	others := make([]consensus.ReplicaID, 0, s.cfg.N-1)
+	for i := 0; i < s.cfg.N; i++ {
+		if to := consensus.ReplicaID(i); to != id {
+			others = append(others, to)
+		}
+	}
+	for i, to := range others {
+		if i < len(others)/2 {
+			s.sendTo(id, to, ppA)
+		} else {
+			s.sendTo(id, to, ppB)
+		}
+	}
+}
+
+// checkInvariants verifies safety after every delivery: committed prefixes
+// never diverge across honest replicas, and blame only ever names scripted
+// Byzantine keys.
+func (s *Sim) checkInvariants() error {
+	for _, id := range s.honestIDs() {
+		rep := s.honest[id]
+		committed := rep.Committed()
+		if committed <= s.checked[id] {
+			continue
+		}
+		for _, b := range rep.Ledger().Batches() {
+			seq := b.Header.Seq
+			if seq <= s.checked[id] || seq > committed {
+				continue
+			}
+			d := b.Header.SigningDigest()
+			if prev, ok := s.canon[seq]; ok {
+				if prev != d {
+					return fmt.Errorf("safety: replica %d committed a different header at seq %d", id, seq)
+				}
+			} else {
+				s.canon[seq] = d
+			}
+		}
+		s.checked[id] = committed
+	}
+	for _, id := range s.honestIDs() {
+		for _, bl := range s.honest[id].Evidence() {
+			var culpritID consensus.ReplicaID
+			found := false
+			for i, pub := range s.peers {
+				if pub.ID() == bl.Culprit {
+					culpritID = consensus.ReplicaID(i)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("blame names an unknown key %s", bl.Culprit)
+			}
+			if _, isByz := s.byz[culpritID]; !isByz {
+				return fmt.Errorf("blame wrongly names honest replica %d", culpritID)
+			}
+			if !bl.Verify(s.peers[culpritID]) {
+				return fmt.Errorf("blame against replica %d does not verify", culpritID)
+			}
+		}
+	}
+	return nil
+}
+
+// done reports whether every honest replica committed the full workload.
+func (s *Sim) done() bool {
+	for _, rep := range s.honest {
+		if rep.Committed() < uint64(s.cfg.Batches) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sim) progressSum() uint64 {
+	var sum uint64
+	for _, rep := range s.honest {
+		sum += rep.Committed()
+	}
+	return sum
+}
+
+// Run executes the schedule until the workload commits everywhere or a
+// limit trips. Every error message includes the seed, so a failing matrix
+// run is reproducible verbatim.
+func (s *Sim) Run() (*Result, error) {
+	fail := func(format string, args ...any) (*Result, error) {
+		return nil, fmt.Errorf("sim seed %d: step %d: %s", s.cfg.Seed, s.step, fmt.Sprintf(format, args...))
+	}
+	for ; !s.done(); s.step++ {
+		if s.step >= s.cfg.MaxSteps {
+			return fail("no convergence after %d steps (committed %v)", s.step, s.committedVector())
+		}
+		// Release healed partition traffic.
+		kept := s.held[:0]
+		for _, h := range s.held {
+			if h.release <= s.step {
+				s.queue = append(s.queue, h.env)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		s.held = kept
+
+		s.tick()
+
+		if len(s.queue) == 0 {
+			// Nothing in flight: model sender timeouts. Retransmits first;
+			// if retransmission alone cannot help, the stall counter below
+			// escalates to view changes.
+			for _, id := range s.honestIDs() {
+				s.broadcast(id, s.honest[id].Retransmit())
+			}
+		}
+		if len(s.queue) > 0 {
+			idx := 0
+			if s.cfg.ReorderRate > 0 && s.rng.Float64() < s.cfg.ReorderRate {
+				idx = s.rng.Intn(len(s.queue))
+			}
+			e := s.queue[idx]
+			s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+			switch {
+			case s.partitioned(e):
+				s.held = append(s.held, heldEnvelope{env: e, release: s.partitionHealsAt(e)})
+			case s.cfg.DropRate > 0 && s.rng.Float64() < s.cfg.DropRate:
+				// Dropped: the sender's retransmission surfaces later at a
+				// random queue position.
+				s.deferred++
+				pos := s.rng.Intn(len(s.queue) + 1)
+				s.queue = append(s.queue[:pos], append([]envelope{e}, s.queue[pos:]...)...)
+			default:
+				s.delivered++
+				if err := s.deliver(e); err != nil {
+					return fail("%v", err)
+				}
+			}
+		}
+
+		if err := s.checkInvariants(); err != nil {
+			return fail("%v", err)
+		}
+		if sum := s.progressSum(); sum != s.lastCommit {
+			s.lastCommit = sum
+			s.stall = 0
+		} else if s.stall++; s.stall >= s.cfg.StallTimeout {
+			s.stall = 0
+			for _, id := range s.honestIDs() {
+				s.broadcast(id, s.honest[id].OnTimeout())
+			}
+		}
+	}
+
+	res := &Result{
+		Steps:     s.step,
+		Delivered: s.delivered,
+		Deferred:  s.deferred,
+		Replicas:  s.honest,
+	}
+	ids := s.honestIDs()
+	ref := s.honest[ids[0]]
+	res.Committed = ref.Committed()
+	for _, id := range ids {
+		rep := s.honest[id]
+		if rep.Committed() != res.Committed {
+			return fail("liveness: replica %d finished at seq %d, replica %d at %d",
+				id, rep.Committed(), ids[0], res.Committed)
+		}
+		if rep.Ledger().HistRoot() != ref.Ledger().HistRoot() {
+			return fail("final history roots diverge between replicas %d and %d", ids[0], id)
+		}
+		if rep.Ledger().StateDigest() != ref.Ledger().StateDigest() {
+			return fail("final state digests diverge between replicas %d and %d", ids[0], id)
+		}
+		if rep.View() > res.FinalView {
+			res.FinalView = rep.View()
+		}
+		res.Blames = append(res.Blames, rep.Evidence()...)
+	}
+	return res, nil
+}
+
+func (s *Sim) committedVector() []uint64 {
+	out := make([]uint64, 0, len(s.honest))
+	for _, id := range s.honestIDs() {
+		out = append(out, s.honest[id].Committed())
+	}
+	return out
+}
+
+// Run is the one-call entry point: build and run a configuration.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"iaccf/internal/consensus"
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+// seedMatrix returns the seeds a matrix test runs. CI pins an explicit
+// matrix through SIM_SEEDS ("1,2,3" or "1-100"); the default covers 1..100
+// (acceptance: a 100-seed run with drops and reordering converges).
+func seedMatrix(t *testing.T) []int64 {
+	t.Helper()
+	spec := os.Getenv("SIM_SEEDS")
+	if spec == "" {
+		spec = "1-100"
+	}
+	var seeds []int64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseInt(lo, 10, 64)
+			b, err2 := strconv.ParseInt(hi, 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				t.Fatalf("bad SIM_SEEDS range %q", part)
+			}
+			for s := a; s <= b; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SIM_SEEDS entry %q", part)
+		}
+		seeds = append(seeds, v)
+	}
+	if testing.Short() && len(seeds) > 10 {
+		seeds = seeds[:10]
+	}
+	return seeds
+}
+
+// TestSimSeedMatrix is the headline run: honest replicas under heavy drops
+// and reordering, across the full seed matrix. Every honest replica must
+// finish at identical (seq, ¯M, d_C) — Run asserts divergence itself, and
+// any failure message carries the seed for replay.
+func TestSimSeedMatrix(t *testing.T) {
+	for _, seed := range seedMatrix(t) {
+		res, err := Run(Config{
+			Seed:        seed,
+			Batches:     4,
+			DropRate:    0.25,
+			ReorderRate: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 4 {
+			t.Fatalf("seed %d: committed %d batches, want 4", seed, res.Committed)
+		}
+		if len(res.Blames) != 0 {
+			t.Fatalf("seed %d: honest run produced blame: %v", seed, res.Blames[0])
+		}
+	}
+}
+
+// TestSimDeterministicReplay re-runs one seed and demands the identical
+// schedule: same step count, same delivery/deferral counters, same final
+// state.
+func TestSimDeterministicReplay(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{Seed: 42, Batches: 5, DropRate: 0.3, ReorderRate: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps || a.Delivered != b.Delivered || a.Deferred != b.Deferred {
+		t.Fatalf("schedules diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Steps, a.Delivered, a.Deferred, b.Steps, b.Delivered, b.Deferred)
+	}
+	ra, rb := a.Replicas[0].Ledger(), b.Replicas[0].Ledger()
+	if ra.HistRoot() != rb.HistRoot() || ra.StateDigest() != rb.StateDigest() {
+		t.Fatal("replayed run reached a different final state")
+	}
+}
+
+// TestSimEquivocatingPrimary is the acceptance scenario: a scripted
+// equivocating primary must yield verifiable blame naming its key on every
+// honest replica that saw the conflict, and the honest quorum must recover
+// liveness through a view change and commit the full workload.
+func TestSimEquivocatingPrimary(t *testing.T) {
+	culprit := consensus.ReplicaID(0)
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(Config{
+			Seed:        seed,
+			Batches:     3,
+			DropRate:    0.1,
+			ReorderRate: 0.3,
+			Byzantine:   map[consensus.ReplicaID]Behaviour{culprit: BehaviourEquivocate},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Blames) == 0 {
+			t.Fatalf("seed %d: equivocation produced no blame evidence", seed)
+		}
+		culpritKey := hashsig.GenerateKeyFromSeed(fmt.Sprintf("sim-%d-replica-%d", seed, culprit)).Public()
+		for _, bl := range res.Blames {
+			if bl.Culprit != culpritKey.ID() {
+				t.Fatalf("seed %d: blame names %s, want the equivocator's key %s", seed, bl.Culprit, culpritKey.ID())
+			}
+			if !bl.Verify(culpritKey) {
+				t.Fatalf("seed %d: blame evidence fails offline verification", seed)
+			}
+		}
+		if res.Committed != 3 {
+			t.Fatalf("seed %d: liveness not recovered, committed %d", seed, res.Committed)
+		}
+		if res.FinalView == 0 {
+			t.Fatalf("seed %d: no view change despite a faulty primary", seed)
+		}
+	}
+}
+
+// TestSimSilentPrimary: the initial primary crashes from the start; the
+// rest must view-change past it and commit everything.
+func TestSimSilentPrimary(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(Config{
+			Seed:        seed,
+			Batches:     3,
+			DropRate:    0.15,
+			ReorderRate: 0.4,
+			Byzantine:   map[consensus.ReplicaID]Behaviour{0: BehaviourSilent},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 3 || res.FinalView == 0 {
+			t.Fatalf("seed %d: committed %d in final view %d", seed, res.Committed, res.FinalView)
+		}
+	}
+}
+
+// TestSimPartition splits the network mid-run; the majority side may make
+// progress alone, and after healing every honest replica converges.
+func TestSimPartition(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(Config{
+			Seed:        seed,
+			Batches:     4,
+			DropRate:    0.1,
+			ReorderRate: 0.3,
+			Partitions: []Partition{{
+				From:  50,
+				Until: 900,
+				Group: map[consensus.ReplicaID]int{3: 1}, // isolate replica 3
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 4 {
+			t.Fatalf("seed %d: committed %d after heal", seed, res.Committed)
+		}
+	}
+}
+
+// TestSimReplayMatchesLiveState is the auditing property (paper §5) over a
+// consensus-committed stream: replaying any honest replica's batch stream
+// must reproduce every other honest replica's live state — store digest and
+// ¯M — across seeds and shard counts 1/4/16.
+func TestSimReplayMatchesLiveState(t *testing.T) {
+	pool := hashsig.NewVerifierPool(0)
+	defer pool.Close()
+	for _, shards := range []uint32{1, 4, 16} {
+		for seed := int64(1); seed <= 5; seed++ {
+			res, err := Run(Config{
+				Seed:        seed,
+				Shards:      shards,
+				Batches:     4,
+				BatchSize:   4,
+				DropRate:    0.2,
+				ReorderRate: 0.4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, rep := range res.Replicas {
+				batches := rep.Ledger().Batches()
+				got, err := ledger.Replay(batches, keyFor(seed, id), ledger.KVApp{}, pool)
+				if err != nil {
+					t.Fatalf("shards %d seed %d: replay of replica %d: %v", shards, seed, id, err)
+				}
+				if got.Shards != shards {
+					t.Fatalf("shards %d seed %d: replay saw %d shards", shards, seed, got.Shards)
+				}
+				for oid, other := range res.Replicas {
+					if got.HistRoot != other.Ledger().HistRoot() {
+						t.Fatalf("shards %d seed %d: replay of %d != live ¯M of %d", shards, seed, id, oid)
+					}
+					if got.StateDigest != other.Ledger().StateDigest() {
+						t.Fatalf("shards %d seed %d: replay of %d != live state of %d", shards, seed, id, oid)
+					}
+				}
+			}
+		}
+	}
+}
+
+func keyFor(seed int64, id consensus.ReplicaID) *hashsig.PublicKey {
+	return hashsig.GenerateKeyFromSeed(fmt.Sprintf("sim-%d-replica-%d", seed, id)).Public()
+}

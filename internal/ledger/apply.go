@@ -1,0 +1,177 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/kv"
+	"iaccf/internal/merkle"
+)
+
+// ErrApply reports a proposed batch that diverges from this replica's own
+// execution: a forged result, a wrong root, a misplaced checkpoint, or a
+// sequence/shard mismatch. The ledger is rolled back to the pre-batch
+// boundary before the error is returned (Lemma 1), so a backup that rejects
+// a pre-prepare keeps exactly the state it had before speculating.
+var ErrApply = errors.New("ledger: proposed batch diverges from local execution")
+
+// CheckBatchShape verifies, without executing anything, that the batch's
+// entries reproduce the header's combined batch tree: per-shard G_s trees
+// over the entry digests, rolled up into ¯G, under the header's declared
+// shard count. Consensus uses it to validate relayed batches (view-change
+// certificates) whose header signature covers ¯G but whose entries travel
+// outside any signature: tampered entries cannot pass.
+func CheckBatchShape(b *Batch) error {
+	h := &b.Header
+	if h.Shards < 1 || h.Shards > kv.MaxShards {
+		return fmt.Errorf("%w: batch %d: shard count %d", ErrBadBatch, h.Seq, h.Shards)
+	}
+	if got := uint64(len(b.Entries)); got != h.GSize {
+		return fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrBadBatch, h.Seq, got, h.GSize)
+	}
+	perShard := make([][]hashsig.Digest, h.Shards)
+	for ei := range b.Entries {
+		s := entryShard(&b.Entries[ei], h.Shards)
+		perShard[s] = append(perShard[s], b.Entries[ei].Digest())
+	}
+	top := merkle.New()
+	for s := range perShard {
+		g := merkle.New()
+		for _, d := range perShard[s] {
+			g.Append(d)
+		}
+		top.Append(g.Root())
+	}
+	if got := top.Root(); got != h.GRoot {
+		return fmt.Errorf("%w: batch %d: batch root mismatch", ErrBadBatch, h.Seq)
+	}
+	return nil
+}
+
+// ApplyBatch is the backup half of a pre-prepare: it re-executes a batch
+// proposed by another replica against this ledger's own store, checks every
+// field the proposer's header commits to — per-entry results, the combined
+// batch root ¯G under the declared partition, the history root ¯M, and the
+// checkpoint digest d_C — and, if they all reproduce, adopts the batch and
+// returns this replica's own signed header over the identical commitments
+// (the header a prepare message carries, paper §3.1). On any divergence the
+// store, history tree, and checkpoint digest are rolled back to the state
+// just before the batch and an ErrApply-wrapped error describes the first
+// mismatch.
+//
+// ApplyBatch checks execution, not provenance: callers (the consensus
+// layer) must have verified the proposer's header signature already.
+func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
+	h := &b.Header
+	if h.Seq != l.nextSeq {
+		return nil, fmt.Errorf("%w: batch seq %d, replica expects %d", ErrApply, h.Seq, l.nextSeq)
+	}
+	if h.Shards != l.cfg.Shards {
+		return nil, fmt.Errorf("%w: batch built under %d shards, replica runs %d", ErrApply, h.Shards, l.cfg.Shards)
+	}
+	seq := l.nextSeq
+	l.store.Mark(seq)
+	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
+	reject := func(err error) (*BatchHeader, error) {
+		if rb := l.RollbackTo(seq); rb != nil {
+			// The mark pushed above cannot have vanished.
+			panic(rb)
+		}
+		return nil, err
+	}
+
+	ckptDue := seq%l.cfg.CheckpointEvery == 0
+	digests := make([]hashsig.Digest, len(b.Entries))
+	for ei := range b.Entries {
+		e := &b.Entries[ei]
+		switch e.Kind {
+		case KindTransaction:
+			tx := l.store.Begin()
+			var got hashsig.Digest
+			if err := l.cfg.App.Execute(tx, e.Payload); err != nil {
+				tx.Abort()
+			} else {
+				got = tx.WriteSetDigest()
+				tx.Commit()
+			}
+			if got != e.Result {
+				return reject(fmt.Errorf("%w: batch %d entry %d: result digest mismatch", ErrApply, seq, ei))
+			}
+		case KindGovernance:
+			// Recorded, no state effect.
+		case KindCheckpoint:
+			// A correct proposer appends exactly one checkpoint marker, last,
+			// and only when the interval says one is due; anything else would
+			// desynchronize lastCkpt across honest replicas even if the digest
+			// itself happens to match.
+			if !ckptDue || ei != len(b.Entries)-1 {
+				return reject(fmt.Errorf("%w: batch %d entry %d: unexpected checkpoint marker", ErrApply, seq, ei))
+			}
+			if e.Seq != seq {
+				return reject(fmt.Errorf("%w: batch %d entry %d: checkpoint labelled %d", ErrApply, seq, ei, e.Seq))
+			}
+			if got := l.store.CheckpointDigest(); got != e.State {
+				return reject(fmt.Errorf("%w: batch %d: checkpoint digest mismatch", ErrApply, seq))
+			}
+			l.lastCkpt = e.State
+		default:
+			return reject(fmt.Errorf("%w: batch %d entry %d: unknown kind %d", ErrApply, seq, ei, e.Kind))
+		}
+		digests[ei] = e.Digest()
+	}
+	if ckptDue && (len(b.Entries) == 0 || b.Entries[len(b.Entries)-1].Kind != KindCheckpoint) {
+		return reject(fmt.Errorf("%w: batch %d: checkpoint marker due but absent", ErrApply, seq))
+	}
+
+	// Rebuild the per-shard batch trees G_s under the local partition and
+	// combine their roots; the proposer's ¯G must reproduce exactly.
+	perShard := make([][]hashsig.Digest, l.cfg.Shards)
+	for ei := range b.Entries {
+		s := entryShard(&b.Entries[ei], l.cfg.Shards)
+		perShard[s] = append(perShard[s], digests[ei])
+	}
+	top := merkle.New()
+	for s := range perShard {
+		g := merkle.New()
+		for _, d := range perShard[s] {
+			g.Append(d)
+		}
+		top.Append(g.Root())
+	}
+	if got := uint64(len(b.Entries)); got != h.GSize {
+		return reject(fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrApply, seq, got, h.GSize))
+	}
+	if got := top.Root(); got != h.GRoot {
+		return reject(fmt.Errorf("%w: batch %d: batch root mismatch", ErrApply, seq))
+	}
+	for _, d := range digests {
+		l.hist.Append(d)
+	}
+	if got := l.hist.Size(); got != h.HistSize {
+		return reject(fmt.Errorf("%w: batch %d: history size %d, header claims %d", ErrApply, seq, got, h.HistSize))
+	}
+	if got := l.hist.Root(); got != h.MRoot {
+		return reject(fmt.Errorf("%w: batch %d: history root mismatch", ErrApply, seq))
+	}
+	if h.CkptDigest != l.lastCkpt {
+		return reject(fmt.Errorf("%w: batch %d: checkpoint reference mismatch", ErrApply, seq))
+	}
+
+	own := BatchHeader{
+		Seq:        seq,
+		HistSize:   h.HistSize,
+		MRoot:      h.MRoot,
+		GRoot:      h.GRoot,
+		GSize:      h.GSize,
+		Shards:     h.Shards,
+		CkptDigest: h.CkptDigest,
+	}
+	own.Sig = l.cfg.Key.MustSign(own.SigningDigest())
+	// The retained stream carries this replica's own signature, so replaying
+	// Batches() verifies against this replica's key; entries are shared with
+	// the caller and treated as immutable, like Batches().
+	l.batches = append(l.batches, &Batch{Header: own, Entries: b.Entries})
+	l.nextSeq = seq + 1
+	return &own, nil
+}

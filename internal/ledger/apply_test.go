@@ -1,0 +1,171 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+func applyPair(t *testing.T, shards uint32) (*Ledger, *Ledger) {
+	t.Helper()
+	mk := func(seed string) *Ledger {
+		l, err := New(Config{
+			Key:             hashsig.GenerateKeyFromSeed(seed),
+			App:             KVApp{},
+			CheckpointEvery: 2,
+			Shards:          shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	return mk("apply-primary"), mk("apply-backup")
+}
+
+func applyReqs(base uint64, n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{
+			Author: hashsig.Sum([]byte(fmt.Sprintf("author-%d", i%3))),
+			ReqNo:  base + uint64(i),
+			Body:   EncodeOps([]Op{{Key: fmt.Sprintf("k%d", base+uint64(i)), Val: []byte("v")}}),
+		}
+	}
+	return out
+}
+
+func TestApplyBatchAdoptsAndCoSigns(t *testing.T) {
+	for _, shards := range []uint32{1, 4} {
+		primary, backup := applyPair(t, shards)
+		for seq := uint64(1); seq <= 4; seq++ {
+			batch, _, err := primary.ExecuteBatch(applyReqs(seq*10, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			own, err := backup.ApplyBatch(batch)
+			if err != nil {
+				t.Fatalf("shards %d seq %d: ApplyBatch: %v", shards, seq, err)
+			}
+			if own.SigningDigest() != batch.Header.SigningDigest() {
+				t.Fatalf("shards %d seq %d: backup commitments differ from primary's", shards, seq)
+			}
+			if !own.Verify(backup.cfg.Key.Public()) {
+				t.Fatal("backup header not signed by backup key")
+			}
+			if own.Verify(primary.cfg.Key.Public()) {
+				t.Fatal("backup header verifies under the primary key")
+			}
+		}
+		if primary.StateDigest() != backup.StateDigest() {
+			t.Fatal("states diverged after honest applies")
+		}
+		if got := len(backup.Batches()); got != 4 {
+			t.Fatalf("backup retains %d batches, want 4", got)
+		}
+	}
+}
+
+// applySnapshot captures everything a rejected ApplyBatch must restore.
+type applySnapshot struct {
+	seq      uint64
+	histSize uint64
+	histRoot hashsig.Digest
+	state    hashsig.Digest
+	batches  int
+}
+
+func snapshotLedger(l *Ledger) applySnapshot {
+	return applySnapshot{
+		seq:      l.Seq(),
+		histSize: l.HistSize(),
+		histRoot: l.HistRoot(),
+		state:    l.StateDigest(),
+		batches:  len(l.Batches()),
+	}
+}
+
+func TestApplyBatchRejectsAndRollsBack(t *testing.T) {
+	primary, backup := applyPair(t, 4)
+	// Advance both one batch so the divergence cases run mid-stream.
+	warm, _, err := primary.ExecuteBatch(applyReqs(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backup.ApplyBatch(warm); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, _, err := primary.ExecuteBatch(applyReqs(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := []struct {
+		name string
+		mut  func(b *Batch)
+	}{
+		{"forged result", func(b *Batch) { b.Entries[0].Result[0] ^= 1 }},
+		{"tampered payload", func(b *Batch) { b.Entries[1].Payload = EncodeOps([]Op{{Key: "evil", Val: []byte("x")}}) }},
+		{"wrong seq", func(b *Batch) { b.Header.Seq = 7 }},
+		{"wrong shard count", func(b *Batch) { b.Header.Shards = 2 }},
+		{"wrong batch root", func(b *Batch) { b.Header.GRoot[0] ^= 1 }},
+		{"wrong history root", func(b *Batch) { b.Header.MRoot[0] ^= 1 }},
+		{"wrong history size", func(b *Batch) { b.Header.HistSize++ }},
+		{"wrong entry count", func(b *Batch) { b.Header.GSize++ }},
+		{"wrong checkpoint ref", func(b *Batch) { b.Header.CkptDigest[0] ^= 1 }},
+		{"checkpoint mislabelled", func(b *Batch) { b.Entries[len(b.Entries)-1].Seq = 9 }},
+		{"checkpoint digest forged", func(b *Batch) { b.Entries[len(b.Entries)-1].State[0] ^= 1 }},
+		{"checkpoint dropped", func(b *Batch) { b.Entries = b.Entries[:len(b.Entries)-1] }},
+		{"unknown kind", func(b *Batch) { b.Entries[0].Kind = 99 }},
+	}
+	for _, tc := range tamper {
+		before := snapshotLedger(backup)
+		evil := &Batch{Header: batch.Header, Entries: append([]Entry(nil), batch.Entries...)}
+		tc.mut(evil)
+		if _, err := backup.ApplyBatch(evil); !errors.Is(err, ErrApply) {
+			t.Fatalf("%s: err = %v, want ErrApply", tc.name, err)
+		}
+		if after := snapshotLedger(backup); after != before {
+			t.Fatalf("%s: backup state not rolled back: %+v -> %+v", tc.name, before, after)
+		}
+	}
+
+	// The untampered batch still applies after every rejection.
+	if _, err := backup.ApplyBatch(batch); err != nil {
+		t.Fatalf("clean batch rejected after rollbacks: %v", err)
+	}
+	if primary.StateDigest() != backup.StateDigest() {
+		t.Fatal("states diverged")
+	}
+}
+
+func TestApplyBatchThenRollbackTo(t *testing.T) {
+	primary, backup := applyPair(t, 1)
+	b1, _, err := primary.ExecuteBatch(applyReqs(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backup.ApplyBatch(b1); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotLedger(backup)
+	b2, _, err := primary.ExecuteBatch(applyReqs(20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backup.ApplyBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	// A view change undoes the speculative batch (Lemma 1).
+	if err := backup.RollbackTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if after := snapshotLedger(backup); after != before {
+		t.Fatalf("rollback did not restore the pre-speculation state: %+v -> %+v", before, after)
+	}
+	if _, err := backup.ApplyBatch(b2); err != nil {
+		t.Fatalf("re-apply after rollback: %v", err)
+	}
+}

@@ -23,6 +23,13 @@ var (
 	ErrBadBatch = errors.New("ledger: malformed batch")
 )
 
+// MaxRequestLen bounds request bodies accepted for execution. It sits far
+// enough under wire.MaxValueLen that every encoded entry (payload plus
+// fixed header fields) stays within the decoder limits — without an
+// ingress cap, a proposer could execute and sign a batch whose entries no
+// backup or auditor can decode.
+const MaxRequestLen = wire.MaxValueLen - 128
+
 // headerDomain domain-separates batch header signatures from all other
 // signed messages.
 var headerDomain = []byte("iaccf-batch-header:")
@@ -87,6 +94,26 @@ func (h *BatchHeader) SigningDigest() hashsig.Digest {
 // Verify reports whether the header carries a valid signature by pub.
 func (h *BatchHeader) Verify(pub *hashsig.PublicKey) bool {
 	return pub.Verify(h.SigningDigest(), h.Sig)
+}
+
+// MaxSigLen bounds signature fields accepted on decode.
+const MaxSigLen = 1 << 10
+
+// EncodeTo writes the header — signed fields in signing order, then the
+// signature — so consensus messages can frame headers on their own, outside
+// a batch stream.
+func (h *BatchHeader) EncodeTo(w *wire.Writer) {
+	h.writeSignedFields(w)
+	w.Bytes(h.Sig)
+}
+
+// DecodeHeader reads a header written by EncodeTo. Errors stick to the
+// reader; the caller checks r.Err().
+func DecodeHeader(r *wire.Reader) BatchHeader {
+	var h BatchHeader
+	h.readSignedFields(r)
+	h.Sig = r.Bytes(MaxSigLen)
+	return h
 }
 
 // Batch is one executed batch: the signed header plus the entries it
@@ -269,6 +296,12 @@ type hashJob struct {
 // sharded digest d_C) is appended when due, and the signed header plus one
 // receipt per transaction entry are returned.
 func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
+	for i := range reqs {
+		if len(reqs[i].Body) > MaxRequestLen {
+			return nil, nil, fmt.Errorf("%w: request %d body %d bytes exceeds %d",
+				ErrBadBatch, i, len(reqs[i].Body), MaxRequestLen)
+		}
+	}
 	seq := l.nextSeq
 	l.store.Mark(seq)
 	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
@@ -472,14 +505,45 @@ func WriteBatches(w io.Writer, batches []*Batch) error {
 	sh.EncodeTo(ww)
 	ww.Uint32(uint32(len(batches)))
 	for _, b := range batches {
-		b.Header.writeSignedFields(ww)
-		ww.Bytes(b.Header.Sig)
-		ww.Uint32(uint32(len(b.Entries)))
-		for i := range b.Entries {
-			b.Entries[i].encodeTo(ww)
-		}
+		b.EncodeTo(ww)
 	}
 	return ww.Flush()
+}
+
+// MaxBatchEntries bounds the entry count accepted when decoding a single
+// batch (stream framing and consensus pre-prepares alike).
+const MaxBatchEntries = 1 << 20
+
+// EncodeTo writes one batch — header fields, signature, then entries — in
+// the deterministic wire codec. It is the framing unit shared by the batch
+// stream (WriteBatches) and consensus pre-prepare messages.
+func (b *Batch) EncodeTo(w *wire.Writer) {
+	b.Header.EncodeTo(w)
+	w.Uint32(uint32(len(b.Entries)))
+	for i := range b.Entries {
+		b.Entries[i].encodeTo(w)
+	}
+}
+
+// DecodeBatch reads one batch written by EncodeTo. Errors stick to the
+// reader; the caller checks r.Err(). Malformed input never panics: entry
+// counts are bounded before allocation and every entry decode is validated.
+func DecodeBatch(r *wire.Reader) *Batch {
+	b := &Batch{}
+	b.Header = DecodeHeader(r)
+	ne := r.Uint32()
+	if r.Err() == nil && ne > MaxBatchEntries {
+		r.Fail(fmt.Errorf("%w: %d entries", ErrBadBatch, ne))
+		return b
+	}
+	// Preallocation hints are capped: counts are attacker-controlled, and a
+	// tiny hostile stream must not drive a huge allocation before the first
+	// decode error surfaces.
+	b.Entries = make([]Entry, 0, min(ne, 1024))
+	for j := uint32(0); j < ne && r.Err() == nil; j++ {
+		b.Entries = append(b.Entries, decodeEntry(r))
+	}
+	return b
 }
 
 // ReadBatches parses a stream produced by WriteBatches, checking that every
@@ -495,26 +559,12 @@ func ReadBatches(r io.Reader) ([]*Batch, error) {
 	if rr.Err() == nil && n > maxBatches {
 		return nil, fmt.Errorf("%w: %d batches", ErrBadBatch, n)
 	}
-	// Preallocation hints are capped: counts are attacker-controlled, and a
-	// tiny hostile stream must not drive a huge allocation before the first
-	// decode error surfaces.
 	batches := make([]*Batch, 0, min(n, 1024))
 	for i := uint32(0); i < n && rr.Err() == nil; i++ {
-		b := &Batch{}
-		b.Header.readSignedFields(rr)
+		b := DecodeBatch(rr)
 		if rr.Err() == nil && b.Header.Shards != sh.Shards {
 			return nil, fmt.Errorf("%w: batch %d declares %d shards, stream header %d",
 				ErrBadBatch, b.Header.Seq, b.Header.Shards, sh.Shards)
-		}
-		b.Header.Sig = rr.Bytes(1 << 10)
-		ne := rr.Uint32()
-		const maxEntries = 1 << 20
-		if rr.Err() == nil && ne > maxEntries {
-			return nil, fmt.Errorf("%w: %d entries", ErrBadBatch, ne)
-		}
-		b.Entries = make([]Entry, 0, min(ne, 1024))
-		for j := uint32(0); j < ne && rr.Err() == nil; j++ {
-			b.Entries = append(b.Entries, decodeEntry(rr))
 		}
 		batches = append(batches, b)
 	}

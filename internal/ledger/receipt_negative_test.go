@@ -1,0 +1,94 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+// TestReceiptNegativeTable drives Receipt.Verify through adversarial
+// mutations on a sharded batch — wrong shard index, truncated and
+// reordered paths, cross-receipt splices — complementing the replay-side
+// tamper tests.
+func TestReceiptNegativeTable(t *testing.T) {
+	key := hashsig.GenerateKeyFromSeed("receipt-neg")
+	l, err := New(Config{Key: key, App: KVApp{}, Shards: 4, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, Request{
+			Author: hashsig.Sum([]byte(fmt.Sprintf("client-%d", i))),
+			ReqNo:  uint64(i),
+			Body:   EncodeOps([]Op{{Key: fmt.Sprintf("k%d", i), Val: []byte("v")}}),
+		})
+	}
+	_, receipts, err := l.ExecuteBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := key.Public()
+
+	// Pick a receipt whose path has both stages and a sibling to swap, and
+	// a second receipt in a different shard for splicing.
+	var r, other *Receipt
+	for i := range receipts {
+		if len(receipts[i].Path) >= 2 && r == nil {
+			r = &receipts[i]
+		}
+	}
+	if r == nil {
+		t.Fatal("no receipt with a two-node path")
+	}
+	for i := range receipts {
+		if receipts[i].Shard != r.Shard {
+			other = &receipts[i]
+			break
+		}
+	}
+	if other == nil {
+		t.Fatal("all receipts landed in one shard")
+	}
+	if !r.Verify(pub) || !other.Verify(pub) {
+		t.Fatal("honest receipts do not verify")
+	}
+
+	cases := []struct {
+		name string
+		mut  func(x *Receipt)
+	}{
+		{"wrong shard index", func(x *Receipt) { x.Shard = (x.Shard + 1) % x.Header.Shards }},
+		{"shard index out of range", func(x *Receipt) { x.Shard = x.Header.Shards }},
+		{"wrong leaf index", func(x *Receipt) { x.Index++ }},
+		{"leaf index out of shard", func(x *Receipt) { x.Index = x.ShardSize }},
+		{"truncated path", func(x *Receipt) { x.Path = x.Path[:len(x.Path)-1] }},
+		{"empty path", func(x *Receipt) { x.Path = nil }},
+		{"swapped siblings", func(x *Receipt) {
+			x.Path = append([]hashsig.Digest(nil), x.Path...)
+			x.Path[0], x.Path[1] = x.Path[1], x.Path[0]
+		}},
+		{"overlong path", func(x *Receipt) {
+			x.Path = append(append([]hashsig.Digest(nil), x.Path...), hashsig.Sum([]byte("pad")))
+		}},
+		{"spliced path from another shard", func(x *Receipt) { x.Path = other.Path }},
+		{"spliced position from another shard", func(x *Receipt) {
+			x.Shard, x.Index, x.ShardSize = other.Shard, other.Index, other.ShardSize
+		}},
+		{"tampered entry", func(x *Receipt) { x.Entry.ReqNo++ }},
+		{"tampered result", func(x *Receipt) { x.Entry.Result[0] ^= 1 }},
+		{"forged shard count", func(x *Receipt) { x.Header.Shards++ }},
+		{"forged root", func(x *Receipt) { x.Header.GRoot[0] ^= 1 }},
+	}
+	for _, tc := range cases {
+		mutated := *r
+		tc.mut(&mutated)
+		if mutated.Verify(pub) {
+			t.Errorf("%s: tampered receipt verifies", tc.name)
+		}
+	}
+	if !r.Verify(pub) {
+		t.Fatal("anchor receipt stopped verifying")
+	}
+}

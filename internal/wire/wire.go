@@ -178,6 +178,12 @@ func (w *Writer) Digest(d hashsig.Digest) {
 	w.write(d[:])
 }
 
+// Nonce writes the raw nonce bytes (fixed size, no prefix). Consensus
+// commit messages reveal nonce preimages on the wire (paper §3.1).
+func (w *Writer) Nonce(n hashsig.Nonce) {
+	w.write(n[:])
+}
+
 // Err returns the first error encountered.
 func (w *Writer) Err() error { return w.err }
 
@@ -266,6 +272,13 @@ func (r *Reader) Digest() hashsig.Digest {
 	var d hashsig.Digest
 	r.read(d[:])
 	return d
+}
+
+// Nonce reads raw nonce bytes.
+func (r *Reader) Nonce() hashsig.Nonce {
+	var n hashsig.Nonce
+	r.read(n[:])
+	return n
 }
 
 // Err returns the first error encountered.
