@@ -1,0 +1,51 @@
+package consensus
+
+import (
+	"testing"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+)
+
+type probeApp struct{}
+
+func (probeApp) Execute(tx ledger.Tx, payload []byte) error { return nil }
+
+func TestHeaderSigCacheCrossKeyProbe(t *testing.T) {
+	n := 4
+	keys := make([]*hashsig.PrivateKey, n)
+	pubs := make([]*hashsig.PublicKey, n)
+	for i := range keys {
+		keys[i] = hashsig.NewPrivateKey()
+		pubs[i] = keys[i].Public()
+	}
+	mk := func(id ReplicaID) *Replica {
+		r, err := New(Config{ID: id, Key: keys[id], Peers: pubs, App: probeApp{}, CheckpointEvery: 4, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	primary := mk(0) // primary of view 0
+	backup := mk(1)
+	pp, _, err := primary.Propose([]ledger.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First delivery: valid, caches the header digest.
+	if _, err := backup.Handle(pp); err != nil {
+		t.Fatalf("valid pre-prepare rejected: %v", err)
+	}
+	// Tamper the embedded header signature: Proposal.Sig does not cover
+	// Header.Sig bytes, so the proposal signature still verifies.
+	evil := *pp
+	evil.Prop.Header.Sig = []byte("garbage")
+	if err := backup.validateProposal(&evil.Prop); err == nil {
+		t.Errorf("BUG CONFIRMED: proposal with garbage header signature passes validateProposal (cache hit)")
+	}
+	// Fresh backup with cold cache rejects it, showing divergent validation.
+	cold := mk(2)
+	if err := cold.validateProposal(&evil.Prop); err == nil {
+		t.Errorf("cold replica also accepts garbage header sig?!")
+	}
+}
