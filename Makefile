@@ -1,11 +1,17 @@
 GO ?= go
 BENCHTIME ?= 1s
+# Benchmark output file; CI writes BENCH_ci.json and uploads it as an
+# artifact, release PRs commit a BENCH_prN.json snapshot as the new
+# baseline.
+BENCH_OUT ?= BENCH.json
+# Committed baseline the regression gate compares against.
+BENCH_BASELINE ?= BENCH_pr5.json
 # Fixed seed matrix for reproducible consensus-sim runs; on an invariant
 # violation the harness fails with the seed embedded in the message, so the
 # failing schedule replays with SIM_SEEDS=<that seed> make sim.
 SIM_SEEDS ?= 1-100
 
-.PHONY: all vet build test race bench sim check
+.PHONY: all vet build test race bench bench-check sim check
 
 all: check
 
@@ -28,8 +34,18 @@ sim:
 	SIM_SEEDS=$(SIM_SEEDS) $(GO) test -race -count=1 -run 'TestSim' ./internal/consensus/sim/ -v
 
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > BENCH_pr4.json \
-		|| { tail -5 BENCH_pr4.json; exit 1; }
-	@grep -o '"Output":".*Benchmark[^"]*' BENCH_pr4.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > $(BENCH_OUT) \
+		|| { tail -5 $(BENCH_OUT); exit 1; }
+	@grep -o '"Output":".*Benchmark[^"]*' $(BENCH_OUT) | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+
+# Benchmark-regression gate: the watched hot paths must stay within 15% of
+# the committed baseline, and the pipelined consensus window must sustain
+# the serial (window=1) baseline's throughput.
+bench-check:
+	$(GO) run ./cmd/benchcmp \
+		-baseline $(BENCH_BASELINE) -current $(BENCH_OUT) \
+		-watch BenchmarkConsensusCommit -watch BenchmarkCheckpointDigest/incremental \
+		-faster 'BenchmarkConsensusCommit/entries=1024/window=4:BenchmarkConsensusCommit/entries=1024/window=1' \
+		-faster 'BenchmarkConsensusCommit/entries=128/window=4:BenchmarkConsensusCommit/entries=128/window=1'
 
 check: vet build race

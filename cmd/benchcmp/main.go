@@ -1,0 +1,220 @@
+// Command benchcmp is the CI benchmark-regression gate: it parses two
+// `go test -json -bench` output files (the committed baseline and the
+// current run), matches benchmark results by name, and fails when a
+// watched benchmark regresses beyond the tolerance. It also supports
+// intra-run assertions (`-faster A:B`), used to prove the pipelined
+// consensus window sustains at least the serial baseline's throughput.
+//
+// Only the standard library is used, so the gate runs with `go run` on a
+// bare runner — no benchstat install step to break or cache.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's parsed numbers.
+type result struct {
+	name    string
+	nsPerOp float64
+	// metrics holds custom units (e.g. "entries/sec") reported via
+	// b.ReportMetric, plus B/op and allocs/op.
+	metrics map[string]float64
+}
+
+// event is the subset of the `go test -json` schema the parser needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a completed benchmark result line. The -N suffix on
+// the name is the GOMAXPROCS tag and is stripped so results compare
+// across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseFile reassembles each package's output stream (go test -json splits
+// benchmark lines across Output events) and parses every result line.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	perPkg := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a `go test -json` stream: %v", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, b := range perPkg {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			r := result{name: m[1], metrics: make(map[string]float64)}
+			fields := strings.Fields(m[2])
+			for i := 0; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				if fields[i+1] == "ns/op" {
+					r.nsPerOp = v
+				} else {
+					r.metrics[fields[i+1]] = v
+				}
+			}
+			out[r.name] = r
+		}
+	}
+	return out, nil
+}
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline `file` (go test -json output)")
+		currentPath  = flag.String("current", "", "current run `file` (go test -json output)")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+		allowMissing = flag.Bool("allow-missing", false, "skip (with a note) benchmarks present in only one file instead of failing — for cross-revision comparisons where sub-benchmark names legitimately change")
+		watch        stringList
+		faster       stringList
+	)
+	flag.Var(&watch, "watch", "benchmark name `prefix` to gate on ns/op regression (repeatable)")
+	flag.Var(&faster, "faster", "intra-run assertion `A:B[:metric]`: current A must not fall below current B on the metric (default entries/sec), beyond the tolerance (repeatable)")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -current is required")
+		os.Exit(2)
+	}
+	current, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	report := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+
+	if *baselinePath != "" {
+		baseline, err := parseFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		for _, prefix := range watch {
+			matched := 0
+			for name, base := range baseline {
+				if !strings.HasPrefix(name, prefix) {
+					continue
+				}
+				cur, ok := current[name]
+				if !ok {
+					if *allowMissing {
+						fmt.Printf("skip %s: present in baseline, missing from current run\n", name)
+					} else {
+						report("%s: present in baseline, missing from current run", name)
+					}
+					continue
+				}
+				matched++
+				if base.nsPerOp <= 0 {
+					continue
+				}
+				ratio := cur.nsPerOp/base.nsPerOp - 1
+				status := "ok"
+				if ratio > *tolerance {
+					report("%s: ns/op regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
+						name, ratio*100, base.nsPerOp, cur.nsPerOp, *tolerance*100)
+					status = "REGRESSED"
+				}
+				fmt.Printf("%-60s ns/op %12.0f -> %12.0f  (%+.1f%%) %s\n",
+					name, base.nsPerOp, cur.nsPerOp, ratio*100, status)
+			}
+			if matched == 0 {
+				if *allowMissing {
+					fmt.Printf("skip -watch %s: no benchmark present in both files\n", prefix)
+				} else {
+					report("-watch %s matched no benchmark present in both files", prefix)
+				}
+			}
+		}
+	}
+
+	for _, spec := range faster {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) < 2 {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -faster spec %q (want A:B[:metric])\n", spec)
+			os.Exit(2)
+		}
+		metric := "entries/sec"
+		if len(parts) == 3 {
+			metric = parts[2]
+		}
+		a, okA := current[parts[0]]
+		b, okB := current[parts[1]]
+		if !okA || !okB {
+			report("-faster %s: benchmark missing from current run", spec)
+			continue
+		}
+		av, bv := a.metrics[metric], b.metrics[metric]
+		if av == 0 || bv == 0 {
+			report("-faster %s: metric %q missing", spec, metric)
+			continue
+		}
+		// "Not below, beyond tolerance": on multi-core runners the
+		// pipelined window genuinely exceeds the serial baseline (pooled
+		// verification needs workers); on a single-core box the two are
+		// compute-bound equals, so the gate guards against the window
+		// costing throughput rather than demanding parallel hardware.
+		if av < bv*(1-*tolerance) {
+			report("%s %s %.0f fell more than %.0f%% below %s %.0f",
+				parts[0], metric, av, *tolerance*100, parts[1], bv)
+			continue
+		}
+		fmt.Printf("%-60s %s %12.0f vs %-40s %12.0f ok\n", parts[0], metric, av, parts[1], bv)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: all gates passed")
+}

@@ -1,22 +1,24 @@
 package consensus
 
 import (
+	"fmt"
 	"testing"
 
 	"iaccf/internal/hashsig"
+	"iaccf/internal/kv"
 	"iaccf/internal/ledger"
 )
 
 type probeApp struct{}
 
-func (probeApp) Execute(tx ledger.Tx, payload []byte) error { return nil }
+func (probeApp) Execute(tx *kv.Tx, payload []byte) error { return nil }
 
 func TestHeaderSigCacheCrossKeyProbe(t *testing.T) {
 	n := 4
 	keys := make([]*hashsig.PrivateKey, n)
 	pubs := make([]*hashsig.PublicKey, n)
 	for i := range keys {
-		keys[i] = hashsig.NewPrivateKey()
+		keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("cache-probe-%d", i))
 		pubs[i] = keys[i].Public()
 	}
 	mk := func(id ReplicaID) *Replica {

@@ -27,40 +27,46 @@ type CommitCert struct {
 // Seq returns the committed batch sequence number the certificate proves.
 func (c *CommitCert) Seq() uint64 { return c.Prop.Seq() }
 
-// sigVerifier checks one signature; Replica injects a memoizing variant so
-// certificates inside re-examined messages are not re-verified.
-type sigVerifier func(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool
-
-func plainVerify(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool {
-	return pub.Verify(d, sig)
-}
-
 // Verify reports whether the certificate proves a commit under the given
 // replica keys: the proposal and every counted prepare must be validly
 // signed, and at least quorum distinct replicas must have an opened nonce
 // matching their announced commitment.
 func (c *CommitCert) Verify(peers []*hashsig.PublicKey, quorum int) bool {
-	return c.verify(peers, quorum, plainVerify)
+	tasks, ok := c.structure(peers, quorum)
+	if !ok {
+		return false
+	}
+	for _, t := range tasks {
+		if !t.Key.Verify(t.Digest, t.Sig) {
+			return false
+		}
+	}
+	return true
 }
 
-func (c *CommitCert) verify(peers []*hashsig.PublicKey, quorum int, vf sigVerifier) bool {
+// structure checks everything about the certificate except signature
+// validity — identities, proposal binding, and the opened-nonce quorum —
+// and returns the signature checks still owed as verification tasks.
+// Replicas batch those through a memoizing pooled verifier; the plain
+// Verify above runs them inline.
+func (c *CommitCert) structure(peers []*hashsig.PublicKey, quorum int) ([]hashsig.VerifyTask, bool) {
 	n := ReplicaID(len(peers))
 	if c.Prop.Primary >= n || c.Prop.Primary != ReplicaID(c.Prop.View%uint64(n)) {
-		return false
-	}
-	if !vf(c.Prop.SigningDigest(), c.Prop.Sig, peers[c.Prop.Primary]) {
-		return false
+		return nil, false
 	}
 	propDigest := c.Prop.SigningDigest()
+	tasks := make([]hashsig.VerifyTask, 0, 1+len(c.Prepares))
+	tasks = append(tasks, hashsig.VerifyTask{Key: peers[c.Prop.Primary], Digest: propDigest, Sig: c.Prop.Sig})
 	commits := map[ReplicaID]hashsig.Digest{c.Prop.Primary: c.Prop.NonceCommit}
 	for i := range c.Prepares {
 		p := &c.Prepares[i]
 		if p.Replica >= n || p.Replica == c.Prop.Primary {
-			return false
+			return nil, false
 		}
-		if p.Prop.SigningDigest() != propDigest || !vf(p.SigningDigest(), p.Sig, peers[p.Replica]) {
-			return false
+		if p.Prop.SigningDigest() != propDigest {
+			return nil, false
 		}
+		tasks = append(tasks, hashsig.VerifyTask{Key: peers[p.Replica], Digest: p.SigningDigest(), Sig: p.Sig})
 		commits[p.Replica] = p.NonceCommit
 	}
 	opened := map[ReplicaID]bool{}
@@ -70,7 +76,7 @@ func (c *CommitCert) verify(peers []*hashsig.PublicKey, quorum int, vf sigVerifi
 			opened[o.Replica] = true
 		}
 	}
-	return len(opened) >= quorum
+	return tasks, len(opened) >= quorum
 }
 
 func (c *CommitCert) encodeTo(w *wire.Writer) {

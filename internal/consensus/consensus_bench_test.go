@@ -8,85 +8,106 @@ import (
 	"iaccf/internal/ledger"
 )
 
-// BenchmarkConsensusCommit measures one full L-PBFT commit round — propose,
+// BenchmarkConsensusCommit measures full L-PBFT commit rounds — propose,
 // pre-prepare, prepares, nonce-revealing commits, all message codec work
-// included — across 3f+1 = 4 replicas with f = 1, per batch size. The
-// metric that matters is entries/sec: how much ledger throughput one
-// consensus round sustains.
+// included — across 3f+1 = 4 replicas with f = 1, per batch size and
+// proposal window. One iteration commits `window` consecutive batches: the
+// primary fills its window before any traffic is delivered, so with W > 1
+// every replica receives several instances' messages per round and the
+// pooled signature prewarm (HandleAll) gets real batches to spread across
+// workers. window=1 is the serial baseline the pipelined runs must beat.
+// The metric that matters is entries/sec: how much ledger throughput the
+// consensus pipeline sustains.
 func BenchmarkConsensusCommit(b *testing.B) {
 	for _, batchSize := range []int{128, 1024} {
-		b.Run(fmt.Sprintf("entries=%d", batchSize), func(b *testing.B) {
-			const n = 4
-			keys := make([]*hashsig.PrivateKey, n)
-			peers := make([]*hashsig.PublicKey, n)
-			for i := range keys {
-				keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("bench-%d", i))
-				peers[i] = keys[i].Public()
-			}
-			replicas := make([]*Replica, n)
-			for i := range replicas {
-				r, err := New(Config{
-					ID:              ReplicaID(i),
-					Key:             keys[i],
-					Peers:           peers,
-					App:             ledger.KVApp{},
-					CheckpointEvery: 4,
-					Shards:          4,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				replicas[i] = r
-			}
-			author := hashsig.Sum([]byte("bench-client"))
-			reqsFor := func(seq uint64) []ledger.Request {
-				reqs := make([]ledger.Request, batchSize)
-				for i := range reqs {
-					reqs[i] = ledger.Request{
-						Author: author,
-						ReqNo:  seq*100000 + uint64(i),
-						Body: ledger.EncodeOps([]ledger.Op{{
-							Key: fmt.Sprintf("key-%d", i%512),
-							Val: []byte(fmt.Sprintf("val-%d-%d", seq, i)),
-						}}),
-					}
-				}
-				return reqs
-			}
-
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				seq := uint64(i + 1)
-				pp, _, err := replicas[0].Propose(reqsFor(seq))
-				if err != nil {
-					b.Fatal(err)
-				}
-				// Flood-deliver encoded frames until quiescent, like the
-				// harness but with no loss: the steady-state fast path.
-				queue := [][]byte{EncodeMessage(pp)}
-				for len(queue) > 0 {
-					frame := queue[0]
-					queue = queue[1:]
-					m, err := DecodeMessage(frame)
-					if err != nil {
-						b.Fatal(err)
-					}
-					for _, r := range replicas {
-						out, _ := r.Handle(m)
-						for _, o := range out {
-							queue = append(queue, EncodeMessage(o))
-						}
-					}
-				}
-				for _, r := range replicas {
-					if r.Committed() != seq {
-						b.Fatalf("replica %d at seq %d, want %d", r.ID(), r.Committed(), seq)
-					}
-				}
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
-		})
+		for _, window := range []int{1, DefaultWindow} {
+			b.Run(fmt.Sprintf("entries=%d/window=%d", batchSize, window), func(b *testing.B) {
+				benchCommit(b, batchSize, window)
+			})
+		}
 	}
+}
+
+func benchCommit(b *testing.B, batchSize, window int) {
+	const n = 4
+	keys := make([]*hashsig.PrivateKey, n)
+	peers := make([]*hashsig.PublicKey, n)
+	for i := range keys {
+		keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("bench-%d", i))
+		peers[i] = keys[i].Public()
+	}
+	replicas := make([]*Replica, n)
+	for i := range replicas {
+		r, err := New(Config{
+			ID:              ReplicaID(i),
+			Key:             keys[i],
+			Peers:           peers,
+			App:             ledger.KVApp{},
+			CheckpointEvery: 4,
+			Shards:          4,
+			Window:          window,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas[i] = r
+	}
+	author := hashsig.Sum([]byte("bench-client"))
+	reqsFor := func(seq uint64) []ledger.Request {
+		reqs := make([]ledger.Request, batchSize)
+		for i := range reqs {
+			reqs[i] = ledger.Request{
+				Author: author,
+				ReqNo:  seq*100000 + uint64(i),
+				Body: ledger.EncodeOps([]ledger.Op{{
+					Key: fmt.Sprintf("key-%d", i%512),
+					Val: []byte(fmt.Sprintf("val-%d-%d", seq, i)),
+				}}),
+			}
+		}
+		return reqs
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fill the window: W proposals before any delivery happens.
+		base := uint64(i * window)
+		frames := make([][]byte, 0, window)
+		for w := 0; w < window; w++ {
+			pp, _, err := replicas[0].Propose(reqsFor(base + uint64(w) + 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames = append(frames, EncodeMessage(pp))
+		}
+		// Flood-deliver encoded frames until quiescent, like the harness
+		// but with no loss: each round every replica gets the whole batch
+		// of in-flight frames at once (HandleAll), the steady-state fast
+		// path a pipelining transport produces.
+		for len(frames) > 0 {
+			msgs := make([]Message, len(frames))
+			for j, frame := range frames {
+				m, err := DecodeMessage(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs[j] = m
+			}
+			frames = frames[:0]
+			for _, r := range replicas {
+				for _, o := range r.HandleAll(msgs) {
+					frames = append(frames, EncodeMessage(o))
+				}
+			}
+		}
+		want := base + uint64(window)
+		for _, r := range replicas {
+			if r.Committed() != want {
+				b.Fatalf("replica %d at seq %d, want %d", r.ID(), r.Committed(), want)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batchSize)*float64(window)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
 }

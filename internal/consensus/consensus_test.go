@@ -433,7 +433,15 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{ID: 9, Key: keys[0], Peers: peers, App: ledger.KVApp{}}); !errors.Is(err, ErrConfig) {
 		t.Fatalf("out-of-range id accepted: %v", err)
 	}
-	r, err := New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}})
+	if _, err := New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}, Window: -1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative window accepted: %v", err)
+	}
+	if _, err := New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}, Window: maxPreparedClaims + 1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("window beyond the decodable claim bound accepted: %v", err)
+	}
+	// Window 1 restores the strict serial behaviour: one outstanding
+	// proposal at a time.
+	r, err := New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}, Window: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,6 +449,26 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatalf("primary cannot propose: %v", err)
 	}
 	if _, _, err := r.Propose(nil); !errors.Is(err, ErrNotPrimary) {
-		t.Fatal("busy primary proposed again")
+		t.Fatal("window-1 primary proposed a second in-flight batch")
+	}
+	// The default window pipelines up to DefaultWindow instances and no
+	// more.
+	r, err = New(Config{ID: 0, Key: keys[0], Peers: peers, App: ledger.KVApp{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Window() != DefaultWindow {
+		t.Fatalf("default window %d, want %d", r.Window(), DefaultWindow)
+	}
+	for i := 0; i < DefaultWindow; i++ {
+		if _, _, err := r.Propose(nil); err != nil {
+			t.Fatalf("proposal %d within the window refused: %v", i+1, err)
+		}
+	}
+	if _, _, err := r.Propose(nil); !errors.Is(err, ErrNotPrimary) {
+		t.Fatal("primary proposed past a full window")
+	}
+	if got := r.InFlight(); got != DefaultWindow {
+		t.Fatalf("in-flight %d, want %d", got, DefaultWindow)
 	}
 }

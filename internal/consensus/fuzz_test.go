@@ -35,9 +35,8 @@ func messageCorpus() [][]byte {
 	cm := &Commit{View: 1, Replica: 2, Seq: 1, HeaderDigest: batch.Header.SigningDigest(), Nonce: nonce}
 	vc := &ViewChange{
 		NewView: 2, Replica: 3, CommittedSeq: 1,
-		CommitProof:  &CommitCert{Prop: prop, Prepares: []Prepare{*prep}, Opens: []NonceOpen{{Replica: 2, Nonce: nonce}}},
-		Prepared:     pp,
-		PrepareProof: []Prepare{*prep},
+		CommitProof: &CommitCert{Prop: prop, Prepares: []Prepare{*prep}, Opens: []NonceOpen{{Replica: 2, Nonce: nonce}}},
+		Prepared:    []PreparedProof{{PP: *pp, Prepares: []Prepare{*prep}}},
 	}
 	vc.Sig = key.MustSign(vc.SigningDigest())
 	nv := &NewView{View: 2, Replica: 2, VCs: []ViewChange{*vc}}

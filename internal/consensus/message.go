@@ -243,48 +243,57 @@ func decodeCommit(r *wire.Reader) *Commit {
 	}
 }
 
+// PreparedProof is one prepared-but-uncommitted instance carried inside a
+// view-change: the batch's pre-prepare plus the prepares backing it —
+// together with the proposal's own primary signature they must cover 2f+1
+// replicas.
+type PreparedProof struct {
+	PP       PrePrepare
+	Prepares []Prepare
+}
+
+// maxPreparedClaims bounds the prepared-instance list accepted on decode;
+// any real list holds at most the proposal window's worth of claims.
+const maxPreparedClaims = 1 << 8
+
 // ViewChange asks to move to view NewView. It carries the sender's highest
-// committed sequence number with the commit certificate proving it, and, if
-// the sender holds a prepared certificate for an uncommitted batch, that
-// batch's pre-prepare plus the prepares backing it — the new primary must
-// re-propose that batch, which is what preserves safety across the change
-// (a batch that committed anywhere was prepared by at least f+1 honest
-// replicas, so every 2f+1 view-change quorum contains one of them). Both
-// proofs are made of signed or nonce-opened messages, so neither claim can
-// be fabricated.
+// committed sequence number with the commit certificate proving it, and one
+// PreparedProof per prepared-but-uncommitted instance in the sender's
+// proposal window, in ascending sequence order — the new primary must
+// re-propose every certified batch of the contiguous uncommitted prefix,
+// which is what preserves safety across the change (a batch that committed
+// anywhere was prepared by at least f+1 honest replicas, so every 2f+1
+// view-change quorum contains one of them; a batch beyond the first
+// uncertified gap cannot have committed anywhere, because commits are in
+// order). All proofs are made of signed or nonce-opened messages, so no
+// claim can be fabricated.
 type ViewChange struct {
 	NewView      uint64
 	Replica      ReplicaID
 	CommittedSeq uint64
 	// CommitProof certifies CommittedSeq (nil only when CommittedSeq is 0).
 	CommitProof *CommitCert
-	// Prepared is the prepared-but-uncommitted pre-prepare, nil if none.
-	Prepared *PrePrepare
-	// PrepareProof holds the prepares backing Prepared: together with the
-	// proposal's own primary signature they must cover 2f+1 replicas.
-	PrepareProof []Prepare
-	Sig          hashsig.Signature
+	// Prepared holds the prepared uncommitted instances, ascending by
+	// sequence number (gaps allowed: quorums can form out of order).
+	Prepared []PreparedProof
+	Sig      hashsig.Signature
 }
 
 // Type implements Message.
 func (m *ViewChange) Type() MsgType { return MsgViewChange }
 
 // SigningDigest covers the target view, the sender, its committed sequence
-// number, and the identity of the prepared proposal (zero when absent); the
-// prepared entries are bound transitively through the header's ¯G.
+// number, and the identity of every prepared proposal in order; the
+// prepared entries are bound transitively through each header's ¯G.
 func (m *ViewChange) SigningDigest() hashsig.Digest {
 	b := append([]byte(nil), viewChangeDomain...)
 	b = wire.AppendUint64(b, m.NewView)
 	b = wire.AppendUint32(b, uint32(m.Replica))
 	b = wire.AppendUint64(b, m.CommittedSeq)
-	var pd hashsig.Digest
-	if m.Prepared != nil {
-		pd = m.Prepared.Prop.SigningDigest()
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
+	b = wire.AppendUint32(b, uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		b = wire.AppendDigest(b, m.Prepared[i].PP.Prop.SigningDigest())
 	}
-	b = wire.AppendDigest(b, pd)
 	return hashsig.Sum(b)
 }
 
@@ -303,15 +312,13 @@ func (m *ViewChange) encodeBody(w *wire.Writer) {
 	} else {
 		w.Uint32(0)
 	}
-	if m.Prepared != nil {
-		w.Uint32(1)
-		m.Prepared.encodeBody(w)
-	} else {
-		w.Uint32(0)
-	}
-	w.Uint32(uint32(len(m.PrepareProof)))
-	for i := range m.PrepareProof {
-		m.PrepareProof[i].encodeBody(w)
+	w.Uint32(uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		m.Prepared[i].PP.encodeBody(w)
+		w.Uint32(uint32(len(m.Prepared[i].Prepares)))
+		for j := range m.Prepared[i].Prepares {
+			m.Prepared[i].Prepares[j].encodeBody(w)
+		}
 	}
 	w.Bytes(m.Sig)
 }
@@ -340,17 +347,24 @@ func decodeViewChange(r *wire.Reader) *ViewChange {
 	if decodeFlag(r, "commit proof") {
 		m.CommitProof = decodeCommitCert(r)
 	}
-	if decodeFlag(r, "prepared") {
-		m.Prepared = decodePrePrepare(r)
-	}
-	np := r.Uint32()
-	if r.Err() == nil && np > maxViewChanges {
-		r.Fail(errTooMany("prepare proofs", np))
+	nc := r.Uint32()
+	if r.Err() == nil && nc > maxPreparedClaims {
+		r.Fail(errTooMany("prepared claims", nc))
 		return m
 	}
-	m.PrepareProof = make([]Prepare, 0, min(np, 64))
-	for i := uint32(0); i < np && r.Err() == nil; i++ {
-		m.PrepareProof = append(m.PrepareProof, *decodePrepare(r))
+	m.Prepared = make([]PreparedProof, 0, min(nc, 16))
+	for i := uint32(0); i < nc && r.Err() == nil; i++ {
+		claim := PreparedProof{PP: *decodePrePrepare(r)}
+		np := r.Uint32()
+		if r.Err() == nil && np > maxViewChanges {
+			r.Fail(errTooMany("prepare proofs", np))
+			return m
+		}
+		claim.Prepares = make([]Prepare, 0, min(np, 64))
+		for j := uint32(0); j < np && r.Err() == nil; j++ {
+			claim.Prepares = append(claim.Prepares, *decodePrepare(r))
+		}
+		m.Prepared = append(m.Prepared, claim)
 	}
 	m.Sig = r.Bytes(ledger.MaxSigLen)
 	return m

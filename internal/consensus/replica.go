@@ -1,9 +1,10 @@
 package consensus
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"iaccf/internal/hashsig"
 	"iaccf/internal/ledger"
@@ -19,6 +20,12 @@ var (
 	// wrong primary, malformed proof). Invalid messages never change state.
 	ErrInvalid = errors.New("consensus: invalid message")
 )
+
+// DefaultWindow is the proposal window used when Config.Window is zero:
+// the primary may have this many consecutive instances in flight before the
+// oldest commits (paper §3, §6: pipelining consensus instances is what
+// hides signing and verification latency between batches).
+const DefaultWindow = 4
 
 // Config parameterizes a Replica.
 type Config struct {
@@ -36,6 +43,14 @@ type Config struct {
 	// CheckpointEvery and Shards parameterize the underlying ledger.
 	CheckpointEvery uint64
 	Shards          uint32
+	// Window is the proposal window W: how many consecutive instances may
+	// be in flight at once. 0 means DefaultWindow. All replicas of one
+	// configuration must agree on it (it bounds the prepared claims a
+	// view-change may carry).
+	Window int
+	// Pool verifies protocol signatures; nil selects the process-wide
+	// hashsig.DefaultPool.
+	Pool *hashsig.VerifierPool
 }
 
 // slotKey identifies one proposal slot for equivocation detection.
@@ -44,10 +59,11 @@ type slotKey struct {
 	seq  uint64
 }
 
-// instance is the in-flight consensus instance. A replica runs at most one
-// at a time (proposal window of 1): either the batch at committed+1, or a
-// "re-ack" of the already-committed batch when a new primary re-proposes it
-// so laggards can finish (seq == committed).
+// instance is one in-flight consensus instance. A replica runs up to
+// Window of them concurrently, at consecutive sequence numbers starting
+// just above the committed boundary; instances are created in ledger order
+// (execution is sequential) but their prepare/commit quorums may complete
+// in any order — commits are applied in order by advanceCommits.
 type instance struct {
 	prop         *Proposal
 	headerDigest hashsig.Digest // prop.Header.SigningDigest()
@@ -103,21 +119,42 @@ func (in *instance) openedQuorum() int {
 
 // Replica is one L-PBFT replica: a ledger plus the protocol state machine.
 // It is single-threaded, like the replica loop it models: callers feed it
-// one message at a time and broadcast whatever it returns.
+// one message (Handle) or one batch of messages (HandleAll) at a time and
+// broadcast whatever it returns.
 type Replica struct {
 	cfg    Config
 	n      int
 	f      int
 	quorum int // 2f+1
+	window int
 	led    *ledger.Ledger
+	pool   *hashsig.VerifierPool
 
 	view      uint64
 	committed uint64 // highest committed batch seq (0 = none)
-	cur       *instance
+	// insts holds the in-flight window, keyed by sequence number. Keys are
+	// always the contiguous range (committed, Ledger().Seq()): instances
+	// are created in execution order and abandoned as a suffix.
+	insts map[uint64]*instance
+	// reacks holds participation-only instances for already committed
+	// batches (a new primary re-proposing them so laggards can finish),
+	// keyed by sequence number and bounded to the last Window commits.
+	// They never touch the ledger: the replica answers from its stored
+	// batch copy, lending its prepare and opening to the new round's
+	// quorum. Without them a replica that committed seq could never help
+	// re-form a quorum for it, and two laggards stuck below it would wait
+	// forever (quorums need 2f+1 participants, committed-or-not).
+	reacks map[uint64]*instance
 
 	// lastCommit retains the proof for the latest committed batch, carried
 	// in view-changes to certify CommittedSeq.
 	lastCommit *CommitCert
+	// recentOwn keeps this replica's own protocol messages for the last
+	// Window committed instances. Retransmit re-emits them so a replica
+	// that missed a whole pipelined window — the original broadcasts are
+	// one-shot — can still rebuild passive catch-up instances and gather
+	// the openings it needs, without a state-transfer protocol.
+	recentOwn map[uint64][]Message
 
 	// view-change state
 	inViewChange bool
@@ -125,12 +162,13 @@ type Replica struct {
 	ownVC        *ViewChange
 	vcs          map[uint64]map[ReplicaID]*ViewChange
 	lastNewView  *NewView
-	// mustRepropose pins the header digest the current view's primary is
-	// obliged to re-propose at committed+1 (from the new-view certificate).
-	mustRepropose *hashsig.Digest
-	// pendingRepropose is set on a new primary that must re-propose a
-	// prepared batch but is still catching up to its sequence number.
-	pendingRepropose *PrePrepare
+	// mustRepropose pins, per sequence number, the header digest the
+	// current view's primary is obliged to re-propose (from the new-view
+	// certificate's contiguous prepared chain).
+	mustRepropose map[uint64]hashsig.Digest
+	// pendingRepropose is the chain a new primary must re-propose but
+	// cannot yet, because it is still catching up to the chain's start.
+	pendingRepropose []*PrePrepare
 	// proposeFloor is the highest certified committed seq seen in a
 	// new-view certificate; fresh proposals stay above it.
 	proposeFloor uint64
@@ -145,10 +183,16 @@ type Replica struct {
 	// later view, or instance not created). Bounded; oldest dropped first.
 	future []Message
 
-	// sigOK memoizes successful signature checks by signing digest, so
-	// buffered messages are not re-verified on every drain pass. Only
-	// successes are cached: a digest says nothing about a failed signature.
-	sigOK map[hashsig.Digest]bool
+	// sigOK memoizes successful signature checks by memoKey (digest,
+	// signature, and key bound together), so buffered messages are not
+	// re-verified on every drain pass. peerID holds each peer key's
+	// precomputed ID digest for those memo lookups.
+	sigOK  map[hashsig.Digest]bool
+	peerID map[*hashsig.PublicKey]hashsig.Digest
+
+	// gen counts state transitions that can make buffered messages
+	// processable; Handle drains the future buffer when it advances.
+	gen uint64
 }
 
 // maxFuture bounds the out-of-order buffer.
@@ -163,6 +207,19 @@ func New(cfg Config) (*Replica, error) {
 	if cfg.Peers[cfg.ID] == nil || !cfg.Peers[cfg.ID].Equal(cfg.Key.Public()) {
 		return nil, fmt.Errorf("%w: Peers[%d] is not Key's public half", ErrConfig, cfg.ID)
 	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("%w: negative window %d", ErrConfig, cfg.Window)
+	}
+	if cfg.Window > maxPreparedClaims {
+		// A view-change carries one prepared claim per in-window instance;
+		// peers' decoders cap the list at maxPreparedClaims, so a larger
+		// window could emit view-changes no peer accepts — a liveness loss
+		// baked in at configuration time.
+		return nil, fmt.Errorf("%w: window %d exceeds the decodable claim bound %d", ErrConfig, cfg.Window, maxPreparedClaims)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
 	led, err := ledger.New(ledger.Config{
 		Key:             cfg.Key,
 		App:             cfg.App,
@@ -173,16 +230,33 @@ func New(cfg Config) (*Replica, error) {
 		return nil, err
 	}
 	f := (n - 1) / 3
+	pool := cfg.Pool
+	if pool == nil {
+		pool = hashsig.DefaultPool()
+	}
+	peerID := make(map[*hashsig.PublicKey]hashsig.Digest, n)
+	for _, pub := range cfg.Peers {
+		if pub != nil {
+			peerID[pub] = pub.ID()
+		}
+	}
 	return &Replica{
-		cfg:    cfg,
-		n:      n,
-		f:      f,
-		quorum: 2*f + 1,
-		led:    led,
-		vcs:    make(map[uint64]map[ReplicaID]*ViewChange),
-		seen:   make(map[slotKey]*Proposal),
-		blamed: make(map[slotKey]bool),
-		sigOK:  make(map[hashsig.Digest]bool),
+		cfg:           cfg,
+		n:             n,
+		f:             f,
+		quorum:        2*f + 1,
+		window:        cfg.Window,
+		led:           led,
+		pool:          pool,
+		insts:         make(map[uint64]*instance),
+		reacks:        make(map[uint64]*instance),
+		recentOwn:     make(map[uint64][]Message),
+		vcs:           make(map[uint64]map[ReplicaID]*ViewChange),
+		mustRepropose: make(map[uint64]hashsig.Digest),
+		seen:          make(map[slotKey]*Proposal),
+		blamed:        make(map[slotKey]bool),
+		sigOK:         make(map[hashsig.Digest]bool),
+		peerID:        peerID,
 	}, nil
 }
 
@@ -196,6 +270,17 @@ func (r *Replica) View() uint64 { return r.view }
 // the first commit).
 func (r *Replica) Committed() uint64 { return r.committed }
 
+// Window returns the configured proposal window W.
+func (r *Replica) Window() int { return r.window }
+
+// InFlight returns the number of speculative instances currently open
+// (excluding re-acks of already committed batches).
+func (r *Replica) InFlight() int { return len(r.insts) }
+
+// NextProposalSeq returns the sequence number the next Propose call would
+// use: the ledger's next batch, one past the speculative chain.
+func (r *Replica) NextProposalSeq() uint64 { return r.led.Seq() }
+
 // Ledger exposes the replica's ledger (read-only use by callers).
 func (r *Replica) Ledger() *ledger.Ledger { return r.led }
 
@@ -207,18 +292,35 @@ func (r *Replica) Evidence() []*Blame {
 // DebugState renders the replica's protocol coordinates for harness
 // failure reports.
 func (r *Replica) DebugState() string {
-	cur := "idle"
-	if in := r.cur; in != nil {
-		cur = fmt.Sprintf("inst{view %d seq %d passive %v reack %v prepared %v endorsers %d opens %d}",
-			in.prop.View, in.prop.Seq(), in.passive, in.reack, in.preparedCert, in.endorsers(), len(in.opens))
+	win := "idle"
+	if len(r.insts) > 0 || len(r.reacks) > 0 {
+		win = ""
+		for _, seq := range sortedKeys(r.insts) {
+			in := r.insts[seq]
+			win += fmt.Sprintf("inst{view %d seq %d passive %v prepared %v endorsers %d opens %d} ",
+				in.prop.View, seq, in.passive, in.preparedCert, in.endorsers(), len(in.opens))
+		}
+		for _, seq := range sortedKeys(r.reacks) {
+			in := r.reacks[seq]
+			win += fmt.Sprintf("reack{view %d seq %d endorsers %d opens %d} ", in.prop.View, seq, in.endorsers(), len(in.opens))
+		}
 	}
-	mrp := "-"
-	if r.mustRepropose != nil {
-		mrp = r.mustRepropose.String()
+	return fmt.Sprintf("replica %d: view %d committed %d window %d vc %v(target %d) floor %d obligations %d pending %d future %d %s",
+		r.cfg.ID, r.view, r.committed, r.window, r.inViewChange, r.vcTarget, r.proposeFloor,
+		len(r.mustRepropose), len(r.pendingRepropose), len(r.future), win)
+}
+
+// sortedKeys returns m's keys in ascending order. Every place the replica
+// iterates a protocol map — window instances, re-acks, certificate
+// assembly — must do so deterministically, or identical replicas would
+// emit differently-ordered (and differently-signed-over) messages.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return fmt.Sprintf("replica %d: view %d committed %d vc %v(target %d) floor %d mustRepropose %s pending %v future %d %s",
-		r.cfg.ID, r.view, r.committed, r.inViewChange, r.vcTarget, r.proposeFloor,
-		mrp, r.pendingRepropose != nil, len(r.future), cur)
+	slices.Sort(keys)
+	return keys
 }
 
 // primaryOf returns the primary of view v.
@@ -227,18 +329,27 @@ func (r *Replica) primaryOf(v uint64) ReplicaID { return ReplicaID(v % uint64(r.
 // IsPrimary reports whether this replica leads the current view.
 func (r *Replica) IsPrimary() bool { return r.primaryOf(r.view) == r.cfg.ID }
 
-// Idle reports whether the replica could start a new instance: no batch in
-// flight, no view change pending, no re-proposal obligation, and caught up
-// to every certified commit it knows about.
+// CanPropose reports whether the replica could start a new instance now:
+// no view change pending, no re-proposal obligation, caught up to every
+// certified commit it knows about, and a free slot in the proposal window.
+func (r *Replica) CanPropose() bool {
+	return !r.inViewChange && len(r.mustRepropose) == 0 &&
+		len(r.pendingRepropose) == 0 && r.committed >= r.proposeFloor &&
+		len(r.insts) < r.window
+}
+
+// Idle reports whether the replica has nothing in flight at all: no open
+// instances, no re-acks, and CanPropose holds. With a window above one a
+// pipelining primary is rarely Idle — use CanPropose to pace proposals.
 func (r *Replica) Idle() bool {
-	return r.cur == nil && !r.inViewChange && r.mustRepropose == nil &&
-		r.pendingRepropose == nil && r.committed >= r.proposeFloor
+	return len(r.insts) == 0 && len(r.reacks) == 0 && r.CanPropose()
 }
 
 // Propose executes reqs as the next batch and returns the pre-prepare to
-// broadcast plus the client receipts. Only the idle primary may propose.
+// broadcast plus the client receipts. Only the primary may propose, and
+// only while the proposal window has room (CanPropose).
 func (r *Replica) Propose(reqs []ledger.Request) (*PrePrepare, []ledger.Receipt, error) {
-	if !r.IsPrimary() || !r.Idle() {
+	if !r.IsPrimary() || !r.CanPropose() {
 		return nil, nil, ErrNotPrimary
 	}
 	batch, receipts, err := r.led.ExecuteBatch(reqs)
@@ -251,6 +362,7 @@ func (r *Replica) Propose(reqs []ledger.Request) (*PrePrepare, []ledger.Receipt,
 
 // proposeBatch wraps an already-executed batch (ExecuteBatch or ApplyBatch
 // output adopted into the ledger) into a proposal and opens the instance.
+// A batch at or below the committed boundary opens as a re-ack.
 func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
 	nonce := hashsig.NewNonce()
 	prop := &Proposal{
@@ -262,7 +374,7 @@ func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
 	prop.Sig = r.cfg.Key.MustSign(prop.SigningDigest())
 	pp := &PrePrepare{Prop: *prop, Entries: batch.Entries}
 	r.seen[slotKey{prop.View, prop.Seq()}] = prop
-	r.cur = &instance{
+	in := &instance{
 		prop:          prop,
 		headerDigest:  prop.Header.SigningDigest(),
 		propDigest:    prop.SigningDigest(),
@@ -274,6 +386,12 @@ func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
 		opens:         make(map[ReplicaID]hashsig.Nonce),
 		ownPrePrepare: pp,
 	}
+	if in.reack {
+		r.reacks[prop.Seq()] = in
+	} else {
+		r.insts[prop.Seq()] = in
+	}
+	r.gen++
 	return pp
 }
 
@@ -282,45 +400,13 @@ func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
 // state; stale or not-yet-processable messages return nil.
 func (r *Replica) Handle(m Message) ([]Message, error) {
 	var out []Message
-	before := r.stamp()
+	before := r.gen
 	err := r.handle(m, &out)
-	if r.stamp() != before {
+	if r.gen != before {
 		// Only a state transition can make buffered messages processable.
 		r.drainFuture(&out)
 	}
 	return out, err
-}
-
-// maxSigCache bounds the verified-signature memo; on overflow the whole map
-// is dropped and re-verification costs are paid again, which only hurts the
-// buffered-message drain, never correctness.
-const maxSigCache = 1 << 16
-
-// verifyCached checks sig over d by pub, memoizing successes.
-func (r *Replica) verifyCached(d hashsig.Digest, sig hashsig.Signature, pub *hashsig.PublicKey) bool {
-	if r.sigOK[d] {
-		return true
-	}
-	if !pub.Verify(d, sig) {
-		return false
-	}
-	if len(r.sigOK) >= maxSigCache {
-		r.sigOK = make(map[hashsig.Digest]bool)
-	}
-	r.sigOK[d] = true
-	return true
-}
-
-// stateStamp summarizes the coordinates that gate message processability.
-type stateStamp struct {
-	view      uint64
-	committed uint64
-	curSet    bool
-	inVC      bool
-}
-
-func (r *Replica) stamp() stateStamp {
-	return stateStamp{r.view, r.committed, r.cur != nil, r.inViewChange}
 }
 
 // drainFuture re-feeds buffered messages for as long as doing so advances
@@ -330,7 +416,7 @@ func (r *Replica) drainFuture(out *[]Message) {
 		if len(r.future) == 0 {
 			return
 		}
-		st := r.stamp()
+		before := r.gen
 		pending := r.future
 		r.future = nil
 		for _, m := range pending {
@@ -338,7 +424,7 @@ func (r *Replica) drainFuture(out *[]Message) {
 			// receipt time or are stale-view artifacts; drop them.
 			_ = r.handle(m, out)
 		}
-		if r.stamp() == st {
+		if r.gen == before {
 			return
 		}
 	}
@@ -373,7 +459,7 @@ func (r *Replica) handle(m Message, out *[]Message) error {
 // the primary and reports the conflict.
 func (r *Replica) checkEquivocation(prop *Proposal) bool {
 	key := slotKey{prop.View, prop.Seq()}
-	if key.seq > r.committed+1 {
+	if key.seq > r.committed+uint64(r.window) {
 		// Outside the proposal window: the message gets buffered and
 		// re-checked once in range. Recording it now would let a Byzantine
 		// peer grow the map without bound by signing far-future slots.
@@ -396,20 +482,35 @@ func (r *Replica) checkEquivocation(prop *Proposal) bool {
 	return true
 }
 
-// validateProposal checks a proposal's provenance: right primary for its
-// view, valid proposal signature, valid header signature by the same key.
-func (r *Replica) validateProposal(prop *Proposal) error {
+// proposalStructure checks a proposal's identity claims: right primary for
+// its view, indices in range.
+func (r *Replica) proposalStructure(prop *Proposal) error {
 	if int(prop.Primary) >= r.n || prop.Primary != r.primaryOf(prop.View) {
 		return fmt.Errorf("%w: proposal from %d for view %d", ErrInvalid, prop.Primary, prop.View)
 	}
-	pub := r.cfg.Peers[prop.Primary]
-	if !r.verifyCached(prop.SigningDigest(), prop.Sig, pub) {
-		return fmt.Errorf("%w: bad proposal signature", ErrInvalid)
+	return nil
+}
+
+// validateProposal checks a proposal's provenance: right primary for its
+// view, valid proposal signature, valid header signature by the same key.
+func (r *Replica) validateProposal(prop *Proposal) error {
+	if err := r.proposalStructure(prop); err != nil {
+		return err
 	}
-	if !r.verifyCached(prop.Header.SigningDigest(), prop.Header.Sig, pub) {
-		return fmt.Errorf("%w: bad header signature", ErrInvalid)
+	if !r.verifyTasks(r.proposalTasks(prop, nil)) {
+		return fmt.Errorf("%w: bad proposal or header signature", ErrInvalid)
 	}
 	return nil
+}
+
+// instanceAt returns the in-flight instance owning seq: a window instance
+// above the committed boundary, a re-ack at or below it (the two maps'
+// key ranges are disjoint).
+func (r *Replica) instanceAt(seq uint64) *instance {
+	if in, ok := r.insts[seq]; ok {
+		return in
+	}
+	return r.reacks[seq]
 }
 
 func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
@@ -418,8 +519,8 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 		return err
 	}
 	seq := prop.Seq()
-	if seq < r.committed || (seq == r.committed && seq == 0) {
-		return nil // stale
+	if seq == 0 || seq+uint64(r.window) <= r.committed {
+		return nil // stale: outside the retained re-ack window
 	}
 	if prop.View > r.view {
 		r.buffer(pp)
@@ -435,34 +536,47 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 		return nil
 	}
 
-	if prop.View == r.view && seq == r.committed {
+	if seq <= r.committed {
+		if prop.View < r.view {
+			return nil // an old view's re-proposal; nothing to gain
+		}
 		// Re-proposal of a batch we already committed (a new primary helping
 		// laggards finish): participate from our stored copy, no re-execution.
 		return r.startReack(pp, out)
 	}
-	if seq != r.committed+1 {
+	if seq > r.committed+uint64(r.window) {
 		r.buffer(pp)
 		return nil
 	}
 
 	passive := prop.View < r.view
-	if r.cur != nil {
-		if r.cur.prop.View == prop.View && r.cur.headerDigest == prop.Header.SigningDigest() {
+	if in := r.insts[seq]; in != nil {
+		if in.prop.View == prop.View && in.headerDigest == prop.Header.SigningDigest() {
 			// Duplicate delivery; stragglers pull resends via Retransmit
 			// (re-emitting here would echo-amplify every broadcast).
 			return nil
 		}
 		if passive {
-			return nil // one catch-up instance at a time; first wins
+			return nil // one catch-up instance per slot; first wins
 		}
-		if !r.cur.passive && !r.cur.reack && r.cur.prop.View == prop.View {
+		if !in.passive && in.prop.View == prop.View {
 			return nil // conflicting same-view proposal; blame recorded above
 		}
-		// A current-view proposal replaces a passive or re-ack instance.
-		r.abandonInstance()
+		// A current-view proposal replaces an older view's passive
+		// speculation — which, sitting in the ledger, takes every later
+		// speculative batch down with it (Lemma 1, suffix rollback).
+		r.abandonFrom(seq)
 	}
-	if !passive && r.mustRepropose != nil && prop.Header.SigningDigest() != *r.mustRepropose {
-		return fmt.Errorf("%w: view %d primary must re-propose the prepared batch", ErrInvalid, r.view)
+	if seq != r.led.Seq() {
+		// In the window but ahead of the execution chain (an earlier
+		// pre-prepare is still missing): wait for the gap to fill.
+		r.buffer(pp)
+		return nil
+	}
+	if !passive {
+		if want, pinned := r.mustRepropose[seq]; pinned && prop.Header.SigningDigest() != want {
+			return fmt.Errorf("%w: view %d primary must re-propose the prepared batch at seq %d", ErrInvalid, r.view, seq)
+		}
 	}
 
 	ownHeader, err := r.led.ApplyBatch(pp.Batch())
@@ -481,17 +595,18 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 		prepMsgs:     make(map[ReplicaID]*Prepare),
 		opens:        make(map[ReplicaID]hashsig.Nonce),
 	}
-	r.cur = in
+	r.insts[seq] = in
+	r.gen++
 	if !passive {
-		r.mustRepropose = nil
+		delete(r.mustRepropose, seq)
 		prep := &Prepare{Replica: r.cfg.ID, Prop: *prop, NonceCommit: nonce.Commit()}
 		prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
 		in.ownPrepare = prep
 		in.prepMsgs[r.cfg.ID] = prep
 		*out = append(*out, prep)
 	}
-	r.checkPrepared(out)
-	r.checkCommitted(out)
+	r.checkPrepared(in, out)
+	r.advanceCommits(out)
 	return nil
 }
 
@@ -499,19 +614,14 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 // already committed, so replicas that missed the original round can gather
 // a quorum in the new view.
 func (r *Replica) startReack(pp *PrePrepare, out *[]Message) error {
+	seq := pp.Prop.Seq()
 	digest := pp.Prop.Header.SigningDigest()
-	ownBatch := r.committedBatch()
+	ownBatch := r.committedBatch(seq)
 	if ownBatch == nil || ownBatch.Header.SigningDigest() != digest {
-		return fmt.Errorf("%w: re-proposal conflicts with committed batch %d", ErrInvalid, pp.Prop.Seq())
+		return fmt.Errorf("%w: re-proposal conflicts with committed batch %d", ErrInvalid, seq)
 	}
-	if r.cur != nil {
-		if r.cur.prop.View == pp.Prop.View && r.cur.headerDigest == digest {
-			return nil // duplicate delivery
-		}
-		if !r.cur.passive && !r.cur.reack {
-			return nil
-		}
-		r.abandonInstance()
+	if in := r.reacks[seq]; in != nil && in.prop.View >= pp.Prop.View {
+		return nil // duplicate delivery (same-view conflicts blame earlier)
 	}
 	prop := &pp.Prop
 	nonce := hashsig.NewNonce()
@@ -526,57 +636,64 @@ func (r *Replica) startReack(pp *PrePrepare, out *[]Message) error {
 		prepMsgs:     make(map[ReplicaID]*Prepare),
 		opens:        make(map[ReplicaID]hashsig.Nonce),
 	}
-	r.cur = in
+	r.reacks[seq] = in
+	r.gen++
 	prep := &Prepare{Replica: r.cfg.ID, Prop: *prop, NonceCommit: nonce.Commit()}
 	prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
 	in.ownPrepare = prep
 	in.prepMsgs[r.cfg.ID] = prep
 	*out = append(*out, prep)
-	r.checkPrepared(out)
+	r.checkPrepared(in, out)
 	return nil
 }
 
-// committedBatch returns this replica's stored batch for the committed seq,
+// committedBatch returns this replica's stored batch for a committed seq,
 // or nil.
-func (r *Replica) committedBatch() *ledger.Batch {
-	batches := r.led.Batches()
-	for i := len(batches) - 1; i >= 0; i-- {
-		if batches[i].Header.Seq == r.committed {
-			return batches[i]
+func (r *Replica) committedBatch(seq uint64) *ledger.Batch {
+	if seq > r.committed {
+		return nil
+	}
+	return r.led.BatchAt(seq)
+}
+
+// abandonFrom discards the in-flight instance at seq and every later one,
+// rolling back the speculative execution they put in the ledger (Lemma 1).
+func (r *Replica) abandonFrom(seq uint64) {
+	dropped := false
+	for s := range r.insts {
+		if s >= seq {
+			delete(r.insts, s)
+			dropped = true
 		}
 	}
-	return nil
-}
-
-// abandonInstance discards the in-flight instance, rolling back any
-// speculative execution it put in the ledger (Lemma 1).
-func (r *Replica) abandonInstance() {
-	if r.cur == nil {
+	if !dropped {
 		return
 	}
-	if r.led.Seq() > r.committed+1 {
-		if err := r.led.RollbackTo(r.committed + 1); err != nil {
+	if r.led.Seq() > seq {
+		if err := r.led.RollbackTo(seq); err != nil {
 			// The mark exists: every executed batch leaves one, and marks at
 			// or above the committed boundary are never pruned.
 			panic(err)
 		}
 	}
-	r.cur = nil
+	r.gen++
 }
 
 func (r *Replica) handlePrepare(p *Prepare, out *[]Message) error {
 	prop := &p.Prop
-	if err := r.validateProposal(prop); err != nil {
+	if err := r.proposalStructure(prop); err != nil {
 		return err
 	}
 	if int(p.Replica) >= r.n || p.Replica == prop.Primary {
 		return fmt.Errorf("%w: prepare from %d", ErrInvalid, p.Replica)
 	}
-	if !r.verifyCached(p.SigningDigest(), p.Sig, r.cfg.Peers[p.Replica]) {
-		return fmt.Errorf("%w: bad prepare signature", ErrInvalid)
+	// All three signature checks — the carried proposal's pair and the
+	// backup's own — go through the memo and pool in one pass.
+	if !r.verifyTasks(r.prepareTasks(p, nil)) {
+		return fmt.Errorf("%w: bad signature in prepare from %d", ErrInvalid, p.Replica)
 	}
 	seq := prop.Seq()
-	if seq < r.committed || (seq == r.committed && r.cur == nil) {
+	if seq <= r.committed && r.reacks[seq] == nil {
 		return nil
 	}
 	if prop.View > r.view {
@@ -588,17 +705,18 @@ func (r *Replica) handlePrepare(p *Prepare, out *[]Message) error {
 		r.buffer(p)
 		return nil
 	}
-	if r.cur == nil || r.cur.propDigest != prop.SigningDigest() {
+	in := r.instanceAt(seq)
+	if in == nil || in.propDigest != prop.SigningDigest() {
 		if seq > r.committed {
 			r.buffer(p)
 		}
 		return nil
 	}
-	if _, dup := r.cur.prepMsgs[p.Replica]; !dup {
-		r.cur.prepMsgs[p.Replica] = p
+	if _, dup := in.prepMsgs[p.Replica]; !dup {
+		in.prepMsgs[p.Replica] = p
 	}
-	r.checkPrepared(out)
-	r.checkCommitted(out)
+	r.checkPrepared(in, out)
+	r.advanceCommits(out)
 	return nil
 }
 
@@ -606,7 +724,7 @@ func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
 	if int(c.Replica) >= r.n {
 		return fmt.Errorf("%w: commit from %d", ErrInvalid, c.Replica)
 	}
-	if c.Seq < r.committed || (c.Seq == r.committed && r.cur == nil) {
+	if c.Seq <= r.committed && r.reacks[c.Seq] == nil {
 		return nil
 	}
 	if c.View > r.view {
@@ -617,8 +735,9 @@ func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
 		r.buffer(c)
 		return nil
 	}
-	if r.cur == nil || r.cur.prop.View != c.View || r.cur.headerDigest != c.HeaderDigest ||
-		r.cur.prop.Seq() != c.Seq {
+	in := r.instanceAt(c.Seq)
+	if in == nil || in.prop.View != c.View || in.headerDigest != c.HeaderDigest ||
+		in.prop.Seq() != c.Seq {
 		if c.Seq > r.committed {
 			r.buffer(c)
 		}
@@ -630,23 +749,23 @@ func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
 	// commitment is known, only an opening nonce is recorded, and a stored
 	// non-opening nonce is replaced by one that opens (genuine commits are
 	// retransmitted, so a spoof that raced in first cannot block quorum).
-	if cm, known := r.cur.commitment(c.Replica); known {
+	if cm, known := in.commitment(c.Replica); known {
 		if c.Nonce.Opens(cm) {
-			r.cur.opens[c.Replica] = c.Nonce
+			in.opens[c.Replica] = c.Nonce
 		}
-	} else if _, dup := r.cur.opens[c.Replica]; !dup {
+	} else if _, dup := in.opens[c.Replica]; !dup {
 		// Commitment not yet seen (prepare still in flight): hold the
 		// candidate; openedQuorum validates it once the commitment lands.
-		r.cur.opens[c.Replica] = c.Nonce
+		in.opens[c.Replica] = c.Nonce
 	}
-	r.checkCommitted(out)
+	r.advanceCommits(out)
 	return nil
 }
 
-// checkPrepared fires once 2f+1 distinct replicas back the proposal: the
-// replica reveals its nonce in an unsigned commit message (Lemma 3).
-func (r *Replica) checkPrepared(out *[]Message) {
-	in := r.cur
+// checkPrepared fires once 2f+1 distinct replicas back the instance's
+// proposal: the replica reveals its nonce in an unsigned commit message
+// (Lemma 3).
+func (r *Replica) checkPrepared(in *instance, out *[]Message) {
 	if in == nil || in.preparedCert || in.passive || in.endorsers() < r.quorum {
 		return
 	}
@@ -663,19 +782,26 @@ func (r *Replica) checkPrepared(out *[]Message) {
 	*out = append(*out, cm)
 }
 
-// checkCommitted fires once 2f+1 distinct replicas opened their
-// commitments: the batch is final.
-func (r *Replica) checkCommitted(out *[]Message) {
-	in := r.cur
-	if in == nil || in.openedQuorum() < r.quorum {
-		return
-	}
-	seq := in.prop.Seq()
-	cert := r.buildCommitCert(in)
-	if seq > r.committed {
+// advanceCommits applies every completion the window allows, strictly in
+// order: the instance just above the committed boundary commits once 2f+1
+// distinct replicas opened their commitments, which may unblock the next.
+// Quorums that completed out of order simply wait here, fully buffered,
+// until their predecessors commit. A completed re-ack is dropped (its
+// batch was already committed).
+func (r *Replica) advanceCommits(out *[]Message) {
+	for {
+		seq := r.committed + 1
+		in := r.insts[seq]
+		if in == nil || in.openedQuorum() < r.quorum {
+			break
+		}
+		cert := r.buildCommitCert(in)
+		delete(r.insts, seq)
 		r.committed = seq
 		r.lastCommit = cert
+		r.retainOwn(seq, in)
 		r.led.PruneMarks(seq)
+		delete(r.mustRepropose, seq)
 		// Blame slots at or below the committed boundary stay recorded (the
 		// evidence keeps its value), but the seen map is pruned to bound it.
 		for k := range r.seen {
@@ -683,35 +809,54 @@ func (r *Replica) checkCommitted(out *[]Message) {
 				delete(r.seen, k)
 			}
 		}
+		r.gen++
 	}
-	r.cur = nil
-	if r.pendingRepropose != nil && r.pendingRepropose.Prop.Seq() == r.committed+1 {
-		pp := r.pendingRepropose
+	// Close out re-acks that served their purpose (full quorum of
+	// openings re-formed) or slid out of the retained window.
+	for seq, in := range r.reacks {
+		if seq+uint64(r.window) <= r.committed || in.openedQuorum() >= r.quorum {
+			delete(r.reacks, seq)
+			r.gen++
+		}
+	}
+	// A parked re-proposal chain resumes the moment the primary reaches its
+	// start.
+	for len(r.pendingRepropose) > 0 && r.pendingRepropose[0].Prop.Seq() <= r.committed {
+		r.pendingRepropose = r.pendingRepropose[1:]
+	}
+	if len(r.pendingRepropose) > 0 && r.pendingRepropose[0].Prop.Seq() == r.committed+1 {
+		chain := r.pendingRepropose
 		r.pendingRepropose = nil
-		r.reproposePrepared(pp, out)
+		r.reproposeChain(chain, out)
 	}
 }
 
 // buildCommitCert assembles the proof that the instance committed.
 func (r *Replica) buildCommitCert(in *instance) *CommitCert {
 	cert := &CommitCert{Prop: *in.prop}
-	ids := make([]int, 0, len(in.prepMsgs))
-	for id := range in.prepMsgs {
-		ids = append(ids, int(id))
+	for _, id := range sortedKeys(in.prepMsgs) {
+		cert.Prepares = append(cert.Prepares, *in.prepMsgs[id])
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		cert.Prepares = append(cert.Prepares, *in.prepMsgs[ReplicaID(id)])
-	}
-	ids = ids[:0]
-	for id := range in.opens {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		cert.Opens = append(cert.Opens, NonceOpen{Replica: ReplicaID(id), Nonce: in.opens[ReplicaID(id)]})
+	for _, id := range sortedKeys(in.opens) {
+		cert.Opens = append(cert.Opens, NonceOpen{Replica: id, Nonce: in.opens[id]})
 	}
 	return cert
+}
+
+// retainOwn records the replica's own messages for a just-committed
+// instance and prunes retention to the last Window sequence numbers. A
+// passive instance contributes nothing (it never emitted).
+func (r *Replica) retainOwn(seq uint64, in *instance) {
+	var own []Message
+	r.retransmitInstance(in, &own)
+	if len(own) > 0 {
+		r.recentOwn[seq] = own
+	}
+	for s := range r.recentOwn {
+		if s+uint64(r.window) <= seq {
+			delete(r.recentOwn, s)
+		}
+	}
 }
 
 // OnTimeout abandons the current view and broadcasts a view change for the
@@ -725,26 +870,30 @@ func (r *Replica) OnTimeout() []Message {
 	return r.startViewChange(target)
 }
 
-// startViewChange emits this replica's view-change for the target view.
+// startViewChange emits this replica's view-change for the target view,
+// carrying a prepared claim for every in-window instance that reached its
+// prepare quorum (quorums can form out of order, so the claims may be
+// non-contiguous).
 func (r *Replica) startViewChange(target uint64) []Message {
 	r.inViewChange = true
 	r.vcTarget = target
+	r.gen++
 	vc := &ViewChange{
 		NewView:      target,
 		Replica:      r.cfg.ID,
 		CommittedSeq: r.committed,
 		CommitProof:  r.lastCommit,
 	}
-	if in := r.cur; in != nil && in.preparedCert && !in.reack && in.prop.Seq() > r.committed {
-		vc.Prepared = &PrePrepare{Prop: *in.prop, Entries: in.entries}
-		ids := make([]int, 0, len(in.prepMsgs))
-		for id := range in.prepMsgs {
-			ids = append(ids, int(id))
+	for _, seq := range sortedKeys(r.insts) {
+		in := r.insts[seq]
+		if !in.preparedCert || seq <= r.committed {
+			continue
 		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			vc.PrepareProof = append(vc.PrepareProof, *in.prepMsgs[ReplicaID(id)])
+		claim := PreparedProof{PP: PrePrepare{Prop: *in.prop, Entries: in.entries}}
+		for _, id := range sortedKeys(in.prepMsgs) {
+			claim.Prepares = append(claim.Prepares, *in.prepMsgs[id])
 		}
+		vc.Prepared = append(vc.Prepared, claim)
 	}
 	vc.Sig = r.cfg.Key.MustSign(vc.SigningDigest())
 	r.ownVC = vc
@@ -754,50 +903,77 @@ func (r *Replica) startViewChange(target uint64) []Message {
 	return out
 }
 
-// validateViewChange checks a view-change's signature and both proofs.
-func (r *Replica) validateViewChange(vc *ViewChange) error {
+// viewChangeStructure checks everything about a view-change except
+// signature validity, appending the owed signature checks to tasks.
+func (r *Replica) viewChangeStructure(vc *ViewChange, tasks *[]hashsig.VerifyTask) error {
 	if int(vc.Replica) >= r.n {
 		return fmt.Errorf("%w: view-change from %d", ErrInvalid, vc.Replica)
 	}
-	if !r.verifyCached(vc.SigningDigest(), vc.Sig, r.cfg.Peers[vc.Replica]) {
-		return fmt.Errorf("%w: bad view-change signature", ErrInvalid)
-	}
+	*tasks = append(*tasks, hashsig.VerifyTask{
+		Key: r.cfg.Peers[vc.Replica], Digest: vc.SigningDigest(), Sig: vc.Sig})
 	if vc.CommittedSeq > 0 {
-		if vc.CommitProof == nil || vc.CommitProof.Seq() != vc.CommittedSeq ||
-			!vc.CommitProof.verify(r.cfg.Peers, r.quorum, r.verifyCached) {
+		if vc.CommitProof == nil || vc.CommitProof.Seq() != vc.CommittedSeq {
 			return fmt.Errorf("%w: uncertified committed seq %d", ErrInvalid, vc.CommittedSeq)
 		}
-	}
-	if vc.Prepared != nil {
-		prop := &vc.Prepared.Prop
-		if prop.Seq() != vc.CommittedSeq+1 || prop.View >= vc.NewView {
-			return fmt.Errorf("%w: prepared batch out of place", ErrInvalid)
+		ts, ok := vc.CommitProof.structure(r.cfg.Peers, r.quorum)
+		if !ok {
+			return fmt.Errorf("%w: uncertified committed seq %d", ErrInvalid, vc.CommittedSeq)
 		}
-		if err := r.validateProposal(prop); err != nil {
+		*tasks = append(*tasks, ts...)
+	}
+	lastSeq := vc.CommittedSeq
+	for i := range vc.Prepared {
+		claim := &vc.Prepared[i]
+		prop := &claim.PP.Prop
+		seq := prop.Seq()
+		if seq <= lastSeq || seq > vc.CommittedSeq+uint64(r.window) {
+			return fmt.Errorf("%w: prepared batch at seq %d out of place", ErrInvalid, seq)
+		}
+		lastSeq = seq
+		if prop.View >= vc.NewView {
+			return fmt.Errorf("%w: prepared batch from view %d >= target %d", ErrInvalid, prop.View, vc.NewView)
+		}
+		if err := r.proposalStructure(prop); err != nil {
 			return err
 		}
+		*tasks = r.proposalTasks(prop, *tasks)
 		// The entries ride outside every signature (the view-change binds
 		// only the proposal digest), so check they reproduce the signed ¯G:
 		// a relayed certificate with tampered entries must not reach the
 		// new primary, which would fail to re-execute it and stall the view.
-		if err := ledger.CheckBatchShape(vc.Prepared.Batch()); err != nil {
+		if err := ledger.CheckBatchShape(claim.PP.Batch()); err != nil {
 			return fmt.Errorf("%w: prepared batch entries do not match header: %v", ErrInvalid, err)
 		}
 		endorsers := map[ReplicaID]bool{prop.Primary: true}
 		d := prop.SigningDigest()
-		for i := range vc.PrepareProof {
-			p := &vc.PrepareProof[i]
+		for j := range claim.Prepares {
+			p := &claim.Prepares[j]
 			if int(p.Replica) >= r.n || p.Replica == prop.Primary {
 				continue
 			}
-			if p.Prop.SigningDigest() != d || !r.verifyCached(p.SigningDigest(), p.Sig, r.cfg.Peers[p.Replica]) {
+			if p.Prop.SigningDigest() != d {
 				return fmt.Errorf("%w: bad prepare proof", ErrInvalid)
 			}
+			*tasks = append(*tasks, hashsig.VerifyTask{
+				Key: r.cfg.Peers[p.Replica], Digest: p.SigningDigest(), Sig: p.Sig})
 			endorsers[p.Replica] = true
 		}
 		if len(endorsers) < r.quorum {
 			return fmt.Errorf("%w: prepared claim backed by %d < %d replicas", ErrInvalid, len(endorsers), r.quorum)
 		}
+	}
+	return nil
+}
+
+// validateViewChange checks a view-change's signature and all its proofs,
+// verifying the collected signature set in one pooled pass.
+func (r *Replica) validateViewChange(vc *ViewChange) error {
+	var tasks []hashsig.VerifyTask
+	if err := r.viewChangeStructure(vc, &tasks); err != nil {
+		return err
+	}
+	if !r.verifyTasks(tasks) {
+		return fmt.Errorf("%w: bad signature in view-change from %d", ErrInvalid, vc.Replica)
 	}
 	return nil
 }
@@ -828,8 +1004,8 @@ func (r *Replica) handleViewChange(vc *ViewChange, out *[]Message) error {
 	if err := r.validateViewChange(vc); err != nil {
 		return err
 	}
-	if vc.Prepared != nil {
-		r.checkEquivocation(&vc.Prepared.Prop)
+	for i := range vc.Prepared {
+		r.checkEquivocation(&vc.Prepared[i].PP.Prop)
 	}
 	r.recordViewChange(vc)
 	// Join rule: f+1 distinct replicas already gave up on our view — at
@@ -855,13 +1031,8 @@ func (r *Replica) maybeEmitNewView(v uint64, out *[]Message) {
 		return
 	}
 	nv := &NewView{View: v, Replica: r.cfg.ID}
-	ids := make([]int, 0, len(byID))
-	for id := range byID {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		nv.VCs = append(nv.VCs, *byID[ReplicaID(id)])
+	for _, id := range sortedKeys(byID) {
+		nv.VCs = append(nv.VCs, *byID[id])
 	}
 	nv.Sig = r.cfg.Key.MustSign(nv.SigningDigest())
 	r.lastNewView = nv
@@ -876,16 +1047,15 @@ func (r *Replica) handleNewView(nv *NewView, out *[]Message) error {
 	if int(nv.Replica) >= r.n || nv.Replica != r.primaryOf(nv.View) {
 		return fmt.Errorf("%w: new-view from %d", ErrInvalid, nv.Replica)
 	}
-	if !r.verifyCached(nv.SigningDigest(), nv.Sig, r.cfg.Peers[nv.Replica]) {
-		return fmt.Errorf("%w: bad new-view signature", ErrInvalid)
-	}
+	tasks := []hashsig.VerifyTask{{
+		Key: r.cfg.Peers[nv.Replica], Digest: nv.SigningDigest(), Sig: nv.Sig}}
 	seen := map[ReplicaID]bool{}
 	for i := range nv.VCs {
 		vc := &nv.VCs[i]
 		if vc.NewView != nv.View {
 			return fmt.Errorf("%w: certificate mixes views", ErrInvalid)
 		}
-		if err := r.validateViewChange(vc); err != nil {
+		if err := r.viewChangeStructure(vc, &tasks); err != nil {
 			return err
 		}
 		seen[vc.Replica] = true
@@ -893,140 +1063,158 @@ func (r *Replica) handleNewView(nv *NewView, out *[]Message) error {
 	if len(seen) < r.quorum {
 		return fmt.Errorf("%w: new-view backed by %d < %d replicas", ErrInvalid, len(seen), r.quorum)
 	}
+	// One pooled pass over the whole certificate: the new-view signature,
+	// every view-change signature, and every proof inside them.
+	if !r.verifyTasks(tasks) {
+		return fmt.Errorf("%w: bad signature in new-view certificate", ErrInvalid)
+	}
 	r.enterView(nv, out)
 	return nil
 }
 
-// enterView moves the replica into nv.View: speculative execution is rolled
-// back to the committed boundary (Lemma 1), and the certificate determines
-// both the commit high-water mark and the prepared batch the new primary is
-// bound to re-propose.
+// enterView moves the replica into nv.View. The certificate determines the
+// commit high-water mark and the contiguous chain of prepared batches the
+// new primary is bound to re-propose, starting just above that mark: per
+// sequence number the claim from the highest view wins (a later view's
+// certificate supersedes earlier ones, as in PBFT), and the chain stops at
+// the first uncertified gap — commits are in order, so nothing beyond a
+// gap can have committed anywhere. Speculative instances are kept as
+// passive catch-up instances (their openings may still complete them);
+// conflicting re-proposals in the new view replace them, rolling the
+// speculation back at that point (Lemma 1).
 func (r *Replica) enterView(nv *NewView, out *[]Message) {
 	v := nv.View
 	maxCommitted := uint64(0)
-	var chosen *PrePrepare
 	for i := range nv.VCs {
-		vc := &nv.VCs[i]
-		if vc.CommittedSeq > maxCommitted {
+		if vc := &nv.VCs[i]; vc.CommittedSeq > maxCommitted {
 			maxCommitted = vc.CommittedSeq
 		}
 	}
+	best := make(map[uint64]*PrePrepare)
 	for i := range nv.VCs {
-		pp := nv.VCs[i].Prepared
-		if pp == nil || pp.Prop.Seq() != maxCommitted+1 {
-			continue
+		for j := range nv.VCs[i].Prepared {
+			pp := &nv.VCs[i].Prepared[j].PP
+			seq := pp.Prop.Seq()
+			if seq <= maxCommitted {
+				continue
+			}
+			if cur, ok := best[seq]; !ok || pp.Prop.View > cur.Prop.View {
+				best[seq] = pp
+			}
 		}
-		if chosen == nil || pp.Prop.View < chosen.Prop.View {
-			// Prefer the earliest view's certificate deterministically; two
-			// genuine prepared certificates for one seq can only disagree
-			// across views, and re-execution makes their headers identical,
-			// so either choice re-proposes the same commitments.
-			chosen = pp
+	}
+	var chain []*PrePrepare
+	for seq := maxCommitted + 1; ; seq++ {
+		pp, ok := best[seq]
+		if !ok {
+			break
 		}
+		chain = append(chain, pp)
 	}
 
 	r.view = v
 	r.inViewChange = false
 	r.vcTarget = v
 	r.ownVC = nil
+	r.gen++
 	for tv := range r.vcs {
 		if tv <= v {
 			delete(r.vcs, tv)
 		}
 	}
-	if in := r.cur; in != nil {
-		if in.prop.Seq() <= r.committed {
-			r.cur = nil // a re-ack of the old view; nothing speculative to undo
-		} else {
-			// Keep the speculation as a passive catch-up instance rather
-			// than rolling it back outright: if its batch committed in the
-			// old view, the openings already collected (and those still in
-			// flight) complete it without any new-view traffic. A
-			// conflicting re-proposal in the new view replaces it, rolling
-			// the speculation back at that point (Lemma 1).
-			in.passive = true
-		}
+	for _, in := range r.insts {
+		in.passive = true
 	}
-	r.mustRepropose = nil
+	r.reacks = make(map[uint64]*instance) // old-view re-acks; nothing speculative to undo
+	r.mustRepropose = make(map[uint64]hashsig.Digest)
 	r.pendingRepropose = nil
 	if maxCommitted > r.proposeFloor {
 		r.proposeFloor = maxCommitted
 	}
 
 	isPrimary := r.primaryOf(v) == r.cfg.ID
-	if chosen != nil {
-		d := chosen.Prop.Header.SigningDigest()
-		if chosen.Prop.Seq() == r.committed+1 {
-			r.mustRepropose = &d
+	if len(chain) > 0 {
+		for _, pp := range chain {
+			if seq := pp.Prop.Seq(); seq > r.committed {
+				r.mustRepropose[seq] = pp.Prop.Header.SigningDigest()
+			}
 		}
 		if isPrimary {
-			r.reproposePrepared(chosen, out)
+			r.reproposeChain(chain, out)
 		}
 	} else if isPrimary {
-		// Leading a view with no surviving prepared batch: a leftover
-		// passive instance can never complete (its batch demonstrably has
-		// no prepared quorum, or it would be in the certificate), so clear
-		// it rather than letting it block proposals.
-		r.abandonInstance()
-		if r.committed >= maxCommitted && r.committed > 0 {
-			// Laggards may still need a quorum for the last committed batch
-			// in this view: re-propose it.
-			if b := r.committedBatch(); b != nil {
-				*out = append(*out, r.proposeBatch(b))
-			}
+		// Leading a view with no surviving prepared chain: passive leftovers
+		// above the certificate's commit mark can never complete (their
+		// batches demonstrably have no prepared quorum, or they would be in
+		// the certificate), so clear them rather than letting them block
+		// proposals. Leftovers at or below the mark are catch-up instances
+		// for batches that committed elsewhere — keep them, they complete
+		// from retransmitted openings (and proposeFloor already blocks
+		// fresh proposals until this replica catches up through them).
+		r.abandonFrom(max(r.committed, maxCommitted) + 1)
+		if r.committed >= maxCommitted {
+			// Laggards may still need quorums anywhere inside the last
+			// committed window in this view: re-propose the whole retained
+			// suffix (a laggard applies these in order as active instances;
+			// replicas that already committed them re-ack from storage).
+			r.reproposeCommittedWindow(out)
 		}
 	}
 }
 
-// reproposePrepared is the new primary's obligation: re-execute and
-// re-propose the prepared batch from the view-change certificate. If the
-// primary is still behind that sequence number it parks the batch and
-// re-proposes as soon as it catches up.
-func (r *Replica) reproposePrepared(pp *PrePrepare, out *[]Message) {
-	seq := pp.Prop.Seq()
-	switch {
-	case seq <= r.committed:
-		// Already committed here; re-propose our stored copy so laggards
-		// can finish (their mustRepropose digest matches: deterministic
-		// re-execution gives byte-identical header commitments).
-		r.abandonInstance()
-		if b := r.committedBatch(); b != nil && b.Header.Seq == seq {
+// reproposeCommittedWindow re-proposes this replica's stored batches for
+// the last Window committed sequence numbers, oldest first. Bounded by the
+// window, it is the new primary's catch-up offer to laggards that fell
+// behind by more than one batch — the boundary batch alone would buffer
+// unusably on any replica whose ledger is further back.
+func (r *Replica) reproposeCommittedWindow(out *[]Message) {
+	if r.committed == 0 {
+		return
+	}
+	lo := uint64(1)
+	if r.committed > uint64(r.window) {
+		lo = r.committed - uint64(r.window) + 1
+	}
+	for seq := lo; seq <= r.committed; seq++ {
+		if b := r.led.BatchAt(seq); b != nil {
 			*out = append(*out, r.proposeBatch(b))
 		}
-	case seq == r.committed+1:
-		// Any passive leftover occupies the ledger slot the re-proposal
-		// needs; the re-proposal supersedes it either way.
-		r.abandonInstance()
+	}
+}
+
+// reproposeChain is the new primary's obligation: re-execute and re-propose
+// the certificate's prepared chain, in order, byte-identically
+// (deterministic re-execution reproduces every header commitment). If the
+// primary is still behind the chain's start it parks the chain and resumes
+// as soon as it catches up.
+func (r *Replica) reproposeChain(chain []*PrePrepare, out *[]Message) {
+	for len(chain) > 0 && chain[0].Prop.Seq() <= r.committed {
+		chain = chain[1:] // already committed here
+	}
+	if len(chain) == 0 {
+		// The whole chain is committed locally; re-propose our retained
+		// committed window so laggards can finish.
+		r.reproposeCommittedWindow(out)
+		return
+	}
+	if first := chain[0].Prop.Seq(); first > r.committed+1 {
+		r.pendingRepropose = chain
+		return
+	}
+	// Any passive leftovers occupy the ledger slots the chain needs; the
+	// re-proposals supersede them either way.
+	r.abandonFrom(r.committed + 1)
+	for _, pp := range chain {
 		batch := pp.Batch()
 		ownHeader, err := r.led.ApplyBatch(batch)
 		if err != nil {
 			// A certified prepared batch re-executes cleanly by
 			// construction; if the application is nondeterministic nothing
-			// can be proposed safely.
+			// further can be proposed safely.
 			return
 		}
-		r.mustRepropose = nil
+		delete(r.mustRepropose, pp.Prop.Seq())
 		*out = append(*out, r.proposeBatch(&ledger.Batch{Header: *ownHeader, Entries: batch.Entries}))
-	default:
-		r.pendingRepropose = pp
-	}
-}
-
-// retransmitInstance re-emits this replica's own messages for the in-flight
-// instance.
-func (r *Replica) retransmitInstance(out *[]Message) {
-	in := r.cur
-	if in == nil {
-		return
-	}
-	if in.ownPrePrepare != nil {
-		*out = append(*out, in.ownPrePrepare)
-	}
-	if in.ownPrepare != nil {
-		*out = append(*out, in.ownPrepare)
-	}
-	if in.ownCommit != nil {
-		*out = append(*out, in.ownCommit)
 	}
 }
 
@@ -1044,6 +1232,35 @@ func (r *Replica) Retransmit() []Message {
 	if r.lastNewView != nil && r.lastNewView.View == r.view {
 		out = append(out, r.lastNewView)
 	}
-	r.retransmitInstance(&out)
+	for _, seq := range sortedKeys(r.insts) {
+		r.retransmitInstance(r.insts[seq], &out)
+	}
+	for _, seq := range sortedKeys(r.reacks) {
+		r.retransmitInstance(r.reacks[seq], &out)
+	}
+	// Re-emit the window's worth of committed-instance messages: between
+	// them, 2f+1 replicas resupply the pre-prepares, commitments, and
+	// openings a laggard needs to passively re-commit the batches it
+	// missed, however deep inside the last window it fell behind.
+	for _, seq := range sortedKeys(r.recentOwn) {
+		out = append(out, r.recentOwn[seq]...)
+	}
 	return out
+}
+
+// retransmitInstance re-emits this replica's own messages for one in-flight
+// instance.
+func (r *Replica) retransmitInstance(in *instance, out *[]Message) {
+	if in == nil {
+		return
+	}
+	if in.ownPrePrepare != nil {
+		*out = append(*out, in.ownPrePrepare)
+	}
+	if in.ownPrepare != nil {
+		*out = append(*out, in.ownPrepare)
+	}
+	if in.ownCommit != nil {
+		*out = append(*out, in.ownCommit)
+	}
 }

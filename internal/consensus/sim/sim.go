@@ -58,6 +58,7 @@ type Config struct {
 	CheckpointEvery uint64  // default 2
 	Batches         int     // batches the workload commits; default 4
 	BatchSize       int     // requests per batch; default 3
+	Window          int     // proposal window W; default consensus.DefaultWindow
 	DropRate        float64 // per-delivery probability of deferral
 	ReorderRate     float64 // probability of picking a random queued envelope
 	Partitions      []Partition
@@ -182,6 +183,7 @@ func New(cfg Config) (*Sim, error) {
 			App:             ledger.KVApp{},
 			CheckpointEvery: cfg.CheckpointEvery,
 			Shards:          cfg.Shards,
+			Window:          cfg.Window,
 		})
 		if err != nil {
 			return nil, err
@@ -300,16 +302,20 @@ func (s *Sim) deliver(e envelope) error {
 	return nil
 }
 
-// tick lets idle primaries propose and scripted nodes strike.
+// tick lets primaries fill their proposal windows and scripted nodes
+// strike. With a window above one the primary pipelines: it keeps
+// proposing consecutive batches until the window is full, so several
+// instances' traffic interleaves on the wire.
 func (s *Sim) tick() {
 	target := uint64(s.cfg.Batches)
 	for _, id := range s.honestIDs() {
 		rep := s.honest[id]
-		if rep.IsPrimary() && rep.Idle() && rep.Committed() < target {
-			pp, _, err := rep.Propose(s.requestsFor(rep.Committed() + 1))
-			if err == nil {
-				s.broadcast(id, []consensus.Message{pp})
+		for rep.IsPrimary() && rep.CanPropose() && rep.NextProposalSeq() <= target {
+			pp, _, err := rep.Propose(s.requestsFor(rep.NextProposalSeq()))
+			if err != nil {
+				break
 			}
+			s.broadcast(id, []consensus.Message{pp})
 		}
 	}
 	for i := 0; i < s.cfg.N; i++ {

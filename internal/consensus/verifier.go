@@ -1,0 +1,198 @@
+package consensus
+
+import (
+	"iaccf/internal/hashsig"
+)
+
+// memoKey identifies one (digest, signature, key) verification so a
+// successful check is never repeated. All three components are bound: a
+// digest alone would let a valid signature by one key vouch for a
+// different signature (or a different key) over the same digest — exactly
+// the aliasing TestHeaderSigCacheCrossKeyProbe probes for. Peer key IDs
+// are precomputed at construction: recomputing the point marshal + hash
+// per lookup would tax every memo hit in the verification hot path.
+func (r *Replica) memoKey(t hashsig.VerifyTask) hashsig.Digest {
+	id, ok := r.peerID[t.Key]
+	if !ok {
+		id = t.Key.ID()
+	}
+	return hashsig.SumMany(t.Digest[:], t.Sig, id[:])
+}
+
+// maxSigCache bounds the verified-signature memo; on overflow the whole map
+// is dropped and re-verification costs are paid again, which only hurts the
+// buffered-message drain, never correctness.
+const maxSigCache = 1 << 16
+
+// cacheSig records a successful verification. Only successes are cached: a
+// key says nothing about a failed signature from a different sender.
+func (r *Replica) cacheSig(k hashsig.Digest) {
+	if len(r.sigOK) >= maxSigCache {
+		r.sigOK = make(map[hashsig.Digest]bool)
+	}
+	r.sigOK[k] = true
+}
+
+// verifyTasks checks every task, consulting the memo first and routing the
+// remainder through the verifier pool (paper §3.4: protocol signature
+// verification is pooled so replicas stay compute-bound on useful work).
+// Single leftovers — and every task when the pool cannot actually run
+// checks concurrently — verify inline: the pool round-trip only pays for
+// itself when there is parallelism to buy.
+func (r *Replica) verifyTasks(tasks []hashsig.VerifyTask) bool {
+	pending := tasks[:0:0]
+	var keys []hashsig.Digest
+	for _, t := range tasks {
+		k := r.memoKey(t)
+		if r.sigOK[k] {
+			continue
+		}
+		pending = append(pending, t)
+		keys = append(keys, k)
+	}
+	if len(pending) == 0 {
+		return true
+	}
+	if len(pending) == 1 || r.pool == nil || r.pool.Workers() <= 1 {
+		ok := true
+		for i, t := range pending {
+			if t.Key.Verify(t.Digest, t.Sig) {
+				r.cacheSig(keys[i])
+			} else {
+				ok = false
+			}
+		}
+		return ok
+	}
+	results := r.pool.VerifyAll(pending)
+	ok := true
+	for i, res := range results {
+		if res {
+			r.cacheSig(keys[i])
+		} else {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// proposalTasks appends the two signature checks a proposal owes (the
+// proposal signature and the embedded header signature, both by the
+// claimed primary) when the primary index is in range.
+func (r *Replica) proposalTasks(p *Proposal, tasks []hashsig.VerifyTask) []hashsig.VerifyTask {
+	if int(p.Primary) >= r.n {
+		return tasks
+	}
+	pub := r.cfg.Peers[p.Primary]
+	tasks = append(tasks, hashsig.VerifyTask{Key: pub, Digest: p.SigningDigest(), Sig: p.Sig})
+	tasks = append(tasks, hashsig.VerifyTask{Key: pub, Digest: p.Header.SigningDigest(), Sig: p.Header.Sig})
+	return tasks
+}
+
+// prepareTasks appends a prepare's three checks: the carried proposal's two
+// plus the backup's own signature.
+func (r *Replica) prepareTasks(p *Prepare, tasks []hashsig.VerifyTask) []hashsig.VerifyTask {
+	tasks = r.proposalTasks(&p.Prop, tasks)
+	if int(p.Replica) < r.n {
+		tasks = append(tasks, hashsig.VerifyTask{Key: r.cfg.Peers[p.Replica], Digest: p.SigningDigest(), Sig: p.Sig})
+	}
+	return tasks
+}
+
+// messageTasks appends every signature check message m will require when
+// handled, using the identities the message itself claims (all bounds
+// checked; invalid claims simply contribute no task and fail later in the
+// serial path).
+func (r *Replica) messageTasks(m Message, tasks []hashsig.VerifyTask) []hashsig.VerifyTask {
+	switch msg := m.(type) {
+	case *PrePrepare:
+		tasks = r.proposalTasks(&msg.Prop, tasks)
+	case *Prepare:
+		tasks = r.prepareTasks(msg, tasks)
+	case *ViewChange:
+		tasks = r.viewChangeMsgTasks(msg, tasks)
+	case *NewView:
+		if int(msg.Replica) < r.n {
+			tasks = append(tasks, hashsig.VerifyTask{
+				Key: r.cfg.Peers[msg.Replica], Digest: msg.SigningDigest(), Sig: msg.Sig})
+		}
+		for i := range msg.VCs {
+			tasks = r.viewChangeMsgTasks(&msg.VCs[i], tasks)
+		}
+	}
+	return tasks
+}
+
+func (r *Replica) viewChangeMsgTasks(vc *ViewChange, tasks []hashsig.VerifyTask) []hashsig.VerifyTask {
+	if int(vc.Replica) < r.n {
+		tasks = append(tasks, hashsig.VerifyTask{
+			Key: r.cfg.Peers[vc.Replica], Digest: vc.SigningDigest(), Sig: vc.Sig})
+	}
+	if vc.CommitProof != nil {
+		if ts, ok := vc.CommitProof.structure(r.cfg.Peers, r.quorum); ok {
+			tasks = append(tasks, ts...)
+		}
+	}
+	for i := range vc.Prepared {
+		claim := &vc.Prepared[i]
+		tasks = r.proposalTasks(&claim.PP.Prop, tasks)
+		for j := range claim.Prepares {
+			p := &claim.Prepares[j]
+			if int(p.Replica) < r.n {
+				tasks = append(tasks, hashsig.VerifyTask{
+					Key: r.cfg.Peers[p.Replica], Digest: p.SigningDigest(), Sig: p.Sig})
+			}
+		}
+	}
+	return tasks
+}
+
+// prewarm batch-verifies every signature the given messages will need and
+// seeds the memo with the successes, so the serial Handle pass afterwards
+// hits the memo instead of verifying one signature at a time. Failures are
+// not recorded; the serial path re-verifies and rejects them with a proper
+// error. With a proposal window above one there are several instances'
+// worth of traffic in flight at once, which is what gives the pool real
+// batches to spread across workers.
+func (r *Replica) prewarm(msgs []Message) {
+	if r.pool == nil || r.pool.Workers() <= 1 {
+		return // nothing to parallelize; the serial path memoizes as it goes
+	}
+	var tasks []hashsig.VerifyTask
+	var keys []hashsig.Digest
+	seen := make(map[hashsig.Digest]bool)
+	for _, m := range msgs {
+		for _, t := range r.messageTasks(m, nil) {
+			k := r.memoKey(t)
+			if seen[k] || r.sigOK[k] {
+				continue
+			}
+			seen[k] = true
+			tasks = append(tasks, t)
+			keys = append(keys, k)
+		}
+	}
+	if len(tasks) < 2 {
+		return
+	}
+	for i, res := range r.pool.VerifyAll(tasks) {
+		if res {
+			r.cacheSig(keys[i])
+		}
+	}
+}
+
+// HandleAll processes a batch of messages: one pooled signature prewarm
+// over everything the batch carries, then the usual serial state-machine
+// pass. Outputs are concatenated in order; per-message errors are dropped
+// (invalid messages are the sender's fault and change no state), so
+// callers that care about individual verdicts should use Handle.
+func (r *Replica) HandleAll(msgs []Message) []Message {
+	r.prewarm(msgs)
+	var out []Message
+	for _, m := range msgs {
+		o, _ := r.Handle(m)
+		out = append(out, o...)
+	}
+	return out
+}

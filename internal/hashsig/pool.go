@@ -32,6 +32,25 @@ type poolBatch struct {
 	done    *sync.WaitGroup
 }
 
+// DefaultPool returns a lazily-created process-wide pool sized to
+// GOMAXPROCS. Consensus replicas share it for protocol-message
+// verification unless their configuration injects a dedicated pool; it is
+// never closed.
+func DefaultPool() *VerifierPool {
+	defaultPoolOnce.Do(func() { defaultPool = NewVerifierPool(0) })
+	return defaultPool
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *VerifierPool
+)
+
+// Workers returns the pool's worker count. Callers use it to decide
+// whether handing off a small batch is worth the channel round-trip (a
+// one-worker pool can never verify in parallel).
+func (p *VerifierPool) Workers() int { return p.workers }
+
 // NewVerifierPool creates a pool with the given number of workers.
 // workers <= 0 selects GOMAXPROCS.
 func NewVerifierPool(workers int) *VerifierPool {

@@ -21,6 +21,7 @@ import (
 
 	"iaccf/internal/champ"
 	"iaccf/internal/hashsig"
+	"iaccf/internal/par"
 	"iaccf/internal/wire"
 )
 
@@ -243,15 +244,33 @@ func (s *ShardedStore) ShardDigest(i int) hashsig.Digest {
 // what turns the per-checkpoint cost from O(keys) into O(keys in touched
 // shards). The digest is deterministic: it depends only on contents and
 // shard count, never on which shards happened to be cached.
+//
+// Dirty shards are re-hashed across a bounded worker pool when there is
+// enough work to amortize the goroutines (paper §6 pairs sharded execution
+// with parallel digesting). The workers write disjoint slice elements and
+// are joined before the combine, so the single-writer discipline of the
+// store is preserved.
 func (s *ShardedStore) CheckpointDigest() hashsig.Digest {
+	var dirtyIdx []int
+	keys := 0
 	for i, d := range s.dirty {
 		if d {
-			s.digests[i] = digestOfMap(s.shards[i])
-			s.dirty[i] = false
+			dirtyIdx = append(dirtyIdx, i)
+			keys += s.shards[i].Len()
 		}
 	}
+	par.ForEach(len(dirtyIdx), keys, minParallelDigestKeys, func(j int) {
+		i := dirtyIdx[j]
+		s.digests[i] = digestOfMap(s.shards[i])
+		s.dirty[i] = false
+	})
 	return combineShardDigests(s.digests)
 }
+
+// minParallelDigestKeys gates the parallel digest path: below this many
+// keys across all dirty shards, goroutine startup costs more than the
+// hashing it would spread.
+const minParallelDigestKeys = 4096
 
 // FullRescanDigest recomputes every shard digest from scratch, ignoring the
 // cache. It must always equal CheckpointDigest; it exists as the oracle for

@@ -6,7 +6,6 @@ import (
 
 	"iaccf/internal/hashsig"
 	"iaccf/internal/kv"
-	"iaccf/internal/merkle"
 )
 
 // ErrApply reports a proposed batch that diverges from this replica's own
@@ -30,20 +29,18 @@ func CheckBatchShape(b *Batch) error {
 	if got := uint64(len(b.Entries)); got != h.GSize {
 		return fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrBadBatch, h.Seq, got, h.GSize)
 	}
+	digests := make([]hashsig.Digest, len(b.Entries))
+	hasher := newEntryHasher(digests, len(b.Entries))
+	for ei := range b.Entries {
+		hasher.submit(ei, &b.Entries[ei])
+	}
+	hasher.wait()
 	perShard := make([][]hashsig.Digest, h.Shards)
 	for ei := range b.Entries {
 		s := entryShard(&b.Entries[ei], h.Shards)
-		perShard[s] = append(perShard[s], b.Entries[ei].Digest())
+		perShard[s] = append(perShard[s], digests[ei])
 	}
-	top := merkle.New()
-	for s := range perShard {
-		g := merkle.New()
-		for _, d := range perShard[s] {
-			g.Append(d)
-		}
-		top.Append(g.Root())
-	}
-	if got := top.Root(); got != h.GRoot {
+	if _, gRoot := buildShardRoots(perShard); gRoot != h.GRoot {
 		return fmt.Errorf("%w: batch %d: batch root mismatch", ErrBadBatch, h.Seq)
 	}
 	return nil
@@ -82,7 +79,12 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	}
 
 	ckptDue := seq%l.cfg.CheckpointEvery == 0
+	// Entry digesting overlaps re-execution, mirroring ExecuteBatch's
+	// pipeline: digests are only read after hasher.wait(). The deferred wait
+	// releases the workers on every reject path.
 	digests := make([]hashsig.Digest, len(b.Entries))
+	hasher := newEntryHasher(digests, len(b.Entries))
+	defer hasher.wait()
 	for ei := range b.Entries {
 		e := &b.Entries[ei]
 		switch e.Kind {
@@ -118,11 +120,12 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 		default:
 			return reject(fmt.Errorf("%w: batch %d entry %d: unknown kind %d", ErrApply, seq, ei, e.Kind))
 		}
-		digests[ei] = e.Digest()
+		hasher.submit(ei, e)
 	}
 	if ckptDue && (len(b.Entries) == 0 || b.Entries[len(b.Entries)-1].Kind != KindCheckpoint) {
 		return reject(fmt.Errorf("%w: batch %d: checkpoint marker due but absent", ErrApply, seq))
 	}
+	hasher.wait()
 
 	// Rebuild the per-shard batch trees G_s under the local partition and
 	// combine their roots; the proposer's ¯G must reproduce exactly.
@@ -131,18 +134,10 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 		s := entryShard(&b.Entries[ei], l.cfg.Shards)
 		perShard[s] = append(perShard[s], digests[ei])
 	}
-	top := merkle.New()
-	for s := range perShard {
-		g := merkle.New()
-		for _, d := range perShard[s] {
-			g.Append(d)
-		}
-		top.Append(g.Root())
-	}
 	if got := uint64(len(b.Entries)); got != h.GSize {
 		return reject(fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrApply, seq, got, h.GSize))
 	}
-	if got := top.Root(); got != h.GRoot {
+	if _, gRoot := buildShardRoots(perShard); gRoot != h.GRoot {
 		return reject(fmt.Errorf("%w: batch %d: batch root mismatch", ErrApply, seq))
 	}
 	for _, d := range digests {

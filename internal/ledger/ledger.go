@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"iaccf/internal/hashsig"
 	"iaccf/internal/kv"
@@ -264,6 +263,18 @@ func (l *Ledger) Batches() []*Batch {
 	return append([]*Batch(nil), l.batches...)
 }
 
+// BatchAt returns the stored batch for seq, or nil when seq is out of
+// range. The retained stream is contiguous from seq 1 (rollbacks truncate
+// a suffix), so this is index arithmetic — hot paths (consensus re-acks
+// answering from storage) must not pay Batches()'s slice copy per lookup.
+// The result is shared and must be treated as immutable, like Batches.
+func (l *Ledger) BatchAt(seq uint64) *Batch {
+	if seq == 0 || seq > uint64(len(l.batches)) {
+		return nil
+	}
+	return l.batches[seq-1]
+}
+
 // entryShard deterministically assigns a ledger entry to a per-shard batch
 // tree G_s. Transactions and governance actions are routed by author — the
 // request-routing analogue of the paper's key-space partitioning, chosen so
@@ -277,24 +288,17 @@ func entryShard(e *Entry, shards uint32) uint32 {
 	return kv.ShardOfKey(string(e.Author[:]), shards)
 }
 
-// hashJob hands one completed entry from the execution stage to the hashing
-// stage. The pointer is stable: the entries slice is allocated with its
-// final capacity up front, so appends never move the backing array.
-type hashJob struct {
-	idx int
-	e   *Entry
-}
-
 // ExecuteBatch executes the requests as one batch through a two-stage
 // pipeline (paper §6). The execution stage runs each transaction in its own
 // kv transaction against the sharded store (aborting individually on
 // error); as each entry completes it is handed to a concurrent hashing
 // stage that computes entry digests while later transactions are still
 // executing. The digests are then grouped into per-shard batch trees G_s
-// whose roots combine into the single ¯G the header signs; every entry is
-// appended to M in ledger order, a checkpoint marker (with the incremental
-// sharded digest d_C) is appended when due, and the signed header plus one
-// receipt per transaction entry are returned.
+// (built in parallel across a bounded worker pool) whose roots combine
+// into the single ¯G the header signs; every entry is appended to M in
+// ledger order, a checkpoint marker (with the incremental sharded digest
+// d_C) is appended when due, and the signed header plus one receipt per
+// transaction entry are returned.
 func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	for i := range reqs {
 		if len(reqs[i].Body) > MaxRequestLen {
@@ -312,23 +316,15 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	maxEntries := len(reqs) + 1 // every request plus at most one checkpoint marker
 	entries := make([]Entry, 0, maxEntries)
 	digests := make([]hashsig.Digest, maxEntries)
-	jobs := make(chan hashJob, maxEntries)
-	hashed := make(chan struct{})
-	go func() {
-		defer close(hashed)
-		for j := range jobs {
-			digests[j.idx] = j.e.Digest()
-		}
-	}()
+	hasher := newEntryHasher(digests, maxEntries)
 	// If anything below panics (a buggy App retaining a finished Tx, say),
-	// the deferred close still releases the hashing goroutine; the mark
-	// pushed above stays, so a caller that recovers can RollbackTo(seq) to
-	// discard the half-executed batch.
-	closeJobs := sync.OnceFunc(func() { close(jobs) })
-	defer closeJobs()
+	// the deferred wait still releases the hashing workers; the mark pushed
+	// above stays, so a caller that recovers can RollbackTo(seq) to discard
+	// the half-executed batch.
+	defer hasher.wait()
 	emit := func() {
 		i := len(entries) - 1
-		jobs <- hashJob{idx: i, e: &entries[i]}
+		hasher.submit(i, &entries[i])
 	}
 
 	txIdx := make([]int, 0, len(reqs))
@@ -371,8 +367,7 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		emit()
 		l.lastCkpt = d
 	}
-	closeJobs()
-	<-hashed
+	hasher.wait()
 
 	shards := l.cfg.Shards
 	shardOf := make([]uint32, len(entries))
@@ -386,7 +381,7 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	}
 	shardRoots := make([]hashsig.Digest, shards)
 	shardPaths := make([][][]hashsig.Digest, shards)
-	for s := range perShard {
+	forEachShard(int(shards), len(entries), func(s int) {
 		g := merkle.New()
 		_, root, paths, err := g.AppendAndProve(perShard[s])
 		if err != nil {
@@ -395,7 +390,7 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		}
 		shardRoots[s] = root
 		shardPaths[s] = paths
-	}
+	})
 	top := merkle.New()
 	_, gRoot, topPaths, err := top.AppendAndProve(shardRoots)
 	if err != nil {

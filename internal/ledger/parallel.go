@@ -1,0 +1,120 @@
+package ledger
+
+import (
+	"runtime"
+	"sync"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/merkle"
+	"iaccf/internal/par"
+)
+
+// forEachShard runs fn(s) for every shard index through the shared bounded
+// worker pool (leaves is the total entry count across shards, gating the
+// fan-out); fn must touch only per-shard state.
+func forEachShard(shards, leaves int, fn func(s int)) {
+	par.ForEach(shards, leaves, minParallelShardLeaves, fn)
+}
+
+// minParallelShardLeaves gates parallel per-shard tree building: small
+// batches build G_s faster inline than across goroutines.
+const minParallelShardLeaves = 256
+
+// buildShardRoots constructs the per-shard batch trees G_s over the grouped
+// entry digests and combines their roots into ¯G, in parallel across shards
+// when worthwhile. It is the shared roll-up of ApplyBatch and
+// CheckBatchShape, which need only the roots; ExecuteBatch keeps its own
+// path-producing variant.
+func buildShardRoots(perShard [][]hashsig.Digest) (shardRoots []hashsig.Digest, gRoot hashsig.Digest) {
+	shardRoots = make([]hashsig.Digest, len(perShard))
+	leaves := 0
+	for s := range perShard {
+		leaves += len(perShard[s])
+	}
+	forEachShard(len(perShard), leaves, func(s int) {
+		g := merkle.New()
+		for _, d := range perShard[s] {
+			g.Append(d)
+		}
+		shardRoots[s] = g.Root()
+	})
+	top := merkle.New()
+	for _, r := range shardRoots {
+		top.Append(r)
+	}
+	return shardRoots, top.Root()
+}
+
+// entryHasher computes entry digests concurrently with the execution loop
+// that produces the entries. On a single-CPU process (or a tiny batch) it
+// degrades to hashing inline at submit time — the pipeline would only add
+// channel traffic. Digests land in the caller's slice at the submitted
+// index; the caller must wait() before reading any of them.
+type entryHasher struct {
+	digests []hashsig.Digest
+	jobs    chan hashJob
+	wg      sync.WaitGroup
+	inline  bool
+	closed  bool
+}
+
+// hashJob hands one completed entry from the execution stage to the hashing
+// stage. The pointer is stable: callers allocate the entries slice with its
+// final capacity up front, so appends never move the backing array.
+type hashJob struct {
+	idx int
+	e   *Entry
+}
+
+// newEntryHasher sizes the hashing stage for up to maxEntries entries.
+func newEntryHasher(digests []hashsig.Digest, maxEntries int) *entryHasher {
+	h := &entryHasher{digests: digests}
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers > maxHashWorkers {
+		workers = maxHashWorkers
+	}
+	if workers < 1 || maxEntries < minPipelinedEntries {
+		h.inline = true
+		return h
+	}
+	h.jobs = make(chan hashJob, maxEntries)
+	h.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer h.wg.Done()
+			for j := range h.jobs {
+				h.digests[j.idx] = j.e.Digest()
+			}
+		}()
+	}
+	return h
+}
+
+// submit hands entry e (stored at idx) to the hashing stage.
+func (h *entryHasher) submit(idx int, e *Entry) {
+	if h.inline {
+		h.digests[idx] = e.Digest()
+		return
+	}
+	h.jobs <- hashJob{idx: idx, e: e}
+}
+
+// wait blocks until every submitted digest is computed. Idempotent, so it
+// can both run deferred (releasing workers if the execution loop panics)
+// and be called explicitly before the digests are read.
+func (h *entryHasher) wait() {
+	if h.inline || h.closed {
+		return
+	}
+	h.closed = true
+	close(h.jobs)
+	h.wg.Wait()
+}
+
+const (
+	// maxHashWorkers bounds the entry-digest pipeline; hashing saturates
+	// long before the core count on wide machines.
+	maxHashWorkers = 4
+	// minPipelinedEntries gates the pipeline: tiny batches hash inline.
+	minPipelinedEntries = 32
+)

@@ -38,6 +38,9 @@ func (t *Tree) peaksOf(n uint64) ([]peak, error) {
 	if n < t.base || n > t.Size() {
 		return nil, fmt.Errorf("%w: peaks of %d (base %d, size %d)", ErrOutOfRange, n, t.base, t.Size())
 	}
+	if n == t.Size() {
+		return append([]peak(nil), t.peaks...), nil
+	}
 	var out []peak
 	var off uint64
 	for rem := n; rem > 0; {
@@ -68,6 +71,7 @@ func FromFrontier(f Frontier) (*Tree, error) {
 		t.basePeaks = append(t.basePeaks, peak{size: size, hash: h})
 		rem -= size
 	}
+	t.peaks = append([]peak(nil), t.basePeaks...)
 	return t, nil
 }
 

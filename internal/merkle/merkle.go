@@ -61,10 +61,17 @@ type peak struct {
 // tree; the restore point for a tree built from a Frontier, or the Compact
 // point). Audit paths and prefix roots are available for the retained
 // region; the region before the base is summarized by its peaks.
+//
+// The tree additionally maintains its full peak decomposition incrementally
+// (a binary-counter merge per append, amortized one node hash), so Root is
+// O(log n) instead of re-hashing every retained leaf. The ledger calls Root
+// once per batch; without the cache that call is what made batch execution
+// quadratic in ledger length.
 type Tree struct {
 	base      uint64           // leaves [0, base) are summarized by basePeaks
 	basePeaks []peak           // maximal perfect subtrees covering [0, base)
 	leaves    []hashsig.Digest // leaf hashes for positions [base, size)
+	peaks     []peak           // peak decomposition of [0, Size()), maintained on append
 }
 
 // New returns an empty tree.
@@ -80,9 +87,7 @@ func (t *Tree) Base() uint64 { return t.base }
 // Append adds the digest of a new ledger entry as the rightmost leaf and
 // returns its leaf index.
 func (t *Tree) Append(entry hashsig.Digest) uint64 {
-	i := t.Size()
-	t.leaves = append(t.leaves, LeafHash(entry))
-	return i
+	return t.AppendLeafHash(LeafHash(entry))
 }
 
 // AppendLeafHash adds a pre-hashed leaf (already domain separated). It is
@@ -90,17 +95,46 @@ func (t *Tree) Append(entry hashsig.Digest) uint64 {
 func (t *Tree) AppendLeafHash(leaf hashsig.Digest) uint64 {
 	i := t.Size()
 	t.leaves = append(t.leaves, leaf)
+	t.peaks = pushPeak(t.peaks, leaf)
 	return i
 }
 
-// Root returns the Merkle root over all leaves.
-func (t *Tree) Root() hashsig.Digest {
-	r, err := t.RootAt(t.Size())
-	if err != nil {
-		// Size() is always a valid prefix.
-		panic(err)
+// pushPeak appends a one-leaf peak and performs the binary-counter merges:
+// two adjacent peaks of equal size are siblings of an aligned subtree, so
+// folding them keeps the stack equal to the greedy RFC 6962 decomposition.
+func pushPeak(peaks []peak, leaf hashsig.Digest) []peak {
+	peaks = append(peaks, peak{size: 1, hash: leaf})
+	for len(peaks) >= 2 && peaks[len(peaks)-1].size == peaks[len(peaks)-2].size {
+		a, b := peaks[len(peaks)-2], peaks[len(peaks)-1]
+		peaks = peaks[:len(peaks)-2]
+		peaks = append(peaks, peak{size: a.size * 2, hash: nodeHash(a.hash, b.hash)})
 	}
-	return r
+	return peaks
+}
+
+// rebuildPeaks recomputes the peak decomposition covering the base peaks
+// plus the given retained leaves. Used after rollback, the only operation
+// that shrinks the tree within the retained region.
+func rebuildPeaks(basePeaks []peak, leaves []hashsig.Digest) []peak {
+	peaks := append([]peak(nil), basePeaks...)
+	for _, leaf := range leaves {
+		peaks = pushPeak(peaks, leaf)
+	}
+	return peaks
+}
+
+// Root returns the Merkle root over all leaves: the right fold of the peak
+// decomposition, which is exactly the RFC 6962 recursion (the split point
+// of a ragged tree is its largest peak).
+func (t *Tree) Root() hashsig.Digest {
+	if t.Size() == 0 {
+		return EmptyRoot()
+	}
+	acc := t.peaks[len(t.peaks)-1].hash
+	for i := len(t.peaks) - 2; i >= 0; i-- {
+		acc = nodeHash(t.peaks[i].hash, acc)
+	}
+	return acc
 }
 
 // RootAt returns the root of the prefix containing the first n leaves.
@@ -111,6 +145,9 @@ func (t *Tree) RootAt(n uint64) (hashsig.Digest, error) {
 	}
 	if n < t.base || n > t.Size() {
 		return hashsig.Digest{}, fmt.Errorf("%w: prefix %d (base %d, size %d)", ErrOutOfRange, n, t.base, t.Size())
+	}
+	if n == t.Size() {
+		return t.Root(), nil
 	}
 	return t.hashRange(0, n)
 }
@@ -283,6 +320,7 @@ func (t *Tree) Rollback(n uint64) error {
 		return fmt.Errorf("%w: rollback to %d before base %d", ErrCompacted, n, t.base)
 	}
 	t.leaves = t.leaves[:n-t.base]
+	t.peaks = rebuildPeaks(t.basePeaks, t.leaves)
 	return nil
 }
 
@@ -303,6 +341,7 @@ func (t *Tree) Clone() *Tree {
 		base:      t.base,
 		basePeaks: append([]peak(nil), t.basePeaks...),
 		leaves:    append([]hashsig.Digest(nil), t.leaves...),
+		peaks:     append([]peak(nil), t.peaks...),
 	}
 	return c
 }

@@ -1,0 +1,47 @@
+// Package par holds the bounded-worker fan-out shared by the sharded hot
+// paths: kv's dirty-shard digest recomputation and ledger's per-shard
+// batch-tree construction. One implementation keeps the gating policy and
+// the join discipline identical everywhere it is used.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), spreading the calls over a
+// bounded worker pool when there is enough total work to amortize
+// goroutine startup. work is the caller's estimate of total units across
+// all indices (leaves, keys); below minWork — or on a single-CPU process —
+// every call runs inline, where the pool would only add scheduling
+// traffic. Workers are joined before return, so callers keep their
+// single-writer discipline; fn must touch only index-disjoint state.
+func ForEach(n, work, minWork int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || work < minWork {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversEveryIndexOnce pins GOMAXPROCS above 1 so the worker
+// path runs even on a single-CPU box (where it would otherwise always
+// degrade to the inline loop), and checks each index is visited exactly
+// once in both regimes.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range []struct {
+		name          string
+		n, work, minW int
+	}{
+		{"parallel", 100, 1000, 1},
+		{"inline-small-work", 100, 10, 1000},
+		{"inline-n1", 1, 1000, 1},
+		{"empty", 0, 0, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := make([]atomic.Int32, tc.n)
+			ForEach(tc.n, tc.work, tc.minW, func(i int) {
+				counts[i].Add(1)
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("index %d visited %d times", i, got)
+				}
+			}
+		})
+	}
+}
