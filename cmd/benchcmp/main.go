@@ -2,8 +2,11 @@
 // `go test -json -bench` output files (the committed baseline and the
 // current run), matches benchmark results by name, and fails when a
 // watched benchmark regresses beyond the tolerance. It also supports
-// intra-run assertions (`-faster A:B`), used to prove the pipelined
-// consensus window sustains at least the serial baseline's throughput.
+// intra-run assertions: `-faster A:B` proves the pipelined consensus
+// window sustains at least the serial baseline's throughput, and
+// `-scale A:B:factor` proves a multi-core run (`-cpu` variants are
+// addressable as Name-N) reaches a multiple of its single-core twin —
+// the gate that keeps the parallel batch executor actually parallel.
 //
 // Only the standard library is used, so the gate runs with `go run` on a
 // bare runner — no benchstat install step to break or cache.
@@ -37,9 +40,12 @@ type event struct {
 }
 
 // benchLine matches a completed benchmark result line. The -N suffix on
-// the name is the GOMAXPROCS tag and is stripped so results compare
-// across machines.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+// the name is the GOMAXPROCS tag; results are stored under both the
+// stripped name (so -watch gates compare across machines, last -cpu
+// variant winning) and an explicit per-CPU name with the suffix
+// normalized to always be present ("Foo-1" for a run with no suffix), so
+// -scale assertions can address a specific -cpu variant unambiguously.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
 
 // parseFile reassembles each package's output stream (go test -json splits
 // benchmark lines across Output events) and parses every result line.
@@ -82,7 +88,7 @@ func parseFile(path string) (map[string]result, error) {
 				continue
 			}
 			r := result{name: m[1], metrics: make(map[string]float64)}
-			fields := strings.Fields(m[2])
+			fields := strings.Fields(m[3])
 			for i := 0; i+1 < len(fields); i += 2 {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
@@ -95,6 +101,11 @@ func parseFile(path string) (map[string]result, error) {
 				}
 			}
 			out[r.name] = r
+			if m[2] == "" {
+				out[r.name+"-1"] = r // GOMAXPROCS=1 runs carry no suffix
+			} else {
+				out[r.name+m[2]] = r
+			}
 		}
 	}
 	return out, nil
@@ -113,9 +124,11 @@ func main() {
 		allowMissing = flag.Bool("allow-missing", false, "skip (with a note) benchmarks present in only one file instead of failing — for cross-revision comparisons where sub-benchmark names legitimately change")
 		watch        stringList
 		faster       stringList
+		scale        stringList
 	)
 	flag.Var(&watch, "watch", "benchmark name `prefix` to gate on ns/op regression (repeatable)")
 	flag.Var(&faster, "faster", "intra-run assertion `A:B[:metric]`: current A must not fall below current B on the metric (default entries/sec), beyond the tolerance (repeatable)")
+	flag.Var(&scale, "scale", "intra-run scaling assertion `A:B:factor[:metric]`: current A must reach at least factor x current B on the metric (default entries/sec), minus the tolerance; address -cpu variants as Name-N (repeatable)")
 	flag.Parse()
 
 	if *currentPath == "" {
@@ -211,6 +224,40 @@ func main() {
 			continue
 		}
 		fmt.Printf("%-60s %s %12.0f vs %-40s %12.0f ok\n", parts[0], metric, av, parts[1], bv)
+	}
+
+	for _, spec := range scale {
+		parts := strings.SplitN(spec, ":", 4)
+		if len(parts) < 3 {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -scale spec %q (want A:B:factor[:metric])\n", spec)
+			os.Exit(2)
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -scale factor in %q\n", spec)
+			os.Exit(2)
+		}
+		metric := "entries/sec"
+		if len(parts) == 4 {
+			metric = parts[3]
+		}
+		a, okA := current[parts[0]]
+		b, okB := current[parts[1]]
+		if !okA || !okB {
+			report("-scale %s: benchmark missing from current run", spec)
+			continue
+		}
+		av, bv := a.metrics[metric], b.metrics[metric]
+		if av == 0 || bv == 0 {
+			report("-scale %s: metric %q missing", spec, metric)
+			continue
+		}
+		if av < factor*bv*(1-*tolerance) {
+			report("%s %s %.0f is only %.2fx %s (%.0f), want >= %.2fx minus %.0f%% tolerance",
+				parts[0], metric, av, av/bv, parts[1], bv, factor, *tolerance*100)
+			continue
+		}
+		fmt.Printf("%-60s %s %12.0f is %.2fx %-40s %12.0f ok\n", parts[0], metric, av, av/bv, parts[1], bv)
 	}
 
 	if failed {

@@ -13,7 +13,6 @@
 package champ
 
 import (
-	"hash/maphash"
 	"math/bits"
 	"sort"
 )
@@ -27,21 +26,45 @@ const (
 	maxLevel = 64 / branchBits
 )
 
-// seed makes hash placement stable within a process. Determinism across
-// processes is not required: checkpoint serialization sorts keys.
-var seed = maphash.MakeSeed()
-
+// hashKey places a key in the trie. It is deterministic across processes:
+// trie placement — and therefore canonical iteration order (RangeCanonical)
+// — is a pure function of the key, so two replicas holding the same
+// contents stream them in the same order without any sort pass. The raw
+// FNV value is passed through a full-avalanche finalizer so trie placement
+// is statistically independent of shard placement (ShardOf uses the raw
+// value mod the shard count; without the mix, every key in one shard would
+// share its low chunk bits and the per-shard tries would degenerate into
+// single-child chains).
 func hashKey(key string) uint64 {
-	return maphash.String(seed, key)
+	return mix64(fnvOf(key))
 }
 
-// FNV-1a parameters (64-bit). Shard placement, unlike trie placement, must
-// agree across processes: every replica and auditor assigns a key to the
-// same shard, so the per-process maphash seed cannot be used.
+// mix64 is the SplitMix64 finalizer: a cheap bijective full-avalanche mix.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// FNV-1a parameters (64-bit).
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
+
+// fnvOf returns the 64-bit FNV-1a hash of key, the shared deterministic
+// base for both shard placement and (after mixing) trie placement.
+func fnvOf(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
 
 // ShardOf returns the shard index of key in a partition of the key space
 // into shards parts (paper §6: partitioned stores). The assignment is
@@ -52,12 +75,7 @@ func ShardOf(key string, shards uint32) uint32 {
 	if shards <= 1 {
 		return 0
 	}
-	h := uint64(fnvOffset)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= fnvPrime
-	}
-	return uint32(h % uint64(shards))
+	return uint32(fnvOf(key) % uint64(shards))
 }
 
 // Map is an immutable hash map from string keys to byte-slice values.
@@ -107,20 +125,34 @@ func (m *Map) Delete(key string) *Map {
 }
 
 // Range calls fn for every entry until fn returns false. Iteration order is
-// trie order (hash order) and is stable for a given map value but not
-// canonical across construction histories; callers needing determinism
-// across replicas must sort (see kv.Store checkpoints).
+// raw trie order (data entries before children at each node): stable for a
+// given map value but dependent on the construction history, so callers
+// needing a deterministic order must use RangeCanonical.
 func (m *Map) Range(fn func(key string, val []byte) bool) {
 	m.root.rang(fn)
 }
 
+// RangeCanonical calls fn for every entry in canonical order until fn
+// returns false. Canonical order is the in-order traversal of the trie —
+// data entries and children interleaved by chunk slot, collision buckets in
+// ascending key order — which makes each key's position a pure function of
+// the key itself (its hash chunk sequence), independent of the construction
+// history and of how deep the trie happens to hold it. Two maps with the
+// same contents therefore always stream in the same order, on any process:
+// this is the iterator that lets checkpoint serialization and shard digests
+// skip the collect-then-sort pass they used to pay per dirty shard.
+func (m *Map) RangeCanonical(fn func(key string, val []byte) bool) {
+	m.root.rangCanonical(fn)
+}
+
 // RangeShard calls fn for every entry whose key lands in the given shard of
 // a shards-way partition (per ShardOf), until fn returns false. Iteration
-// order is trie order, like Range. It is the shard-iteration primitive the
-// key-value layer uses to split an unsharded map into per-shard maps without
-// materializing an intermediate copy of the other shards.
+// order is canonical (RangeCanonical), so the subsequence for one shard is
+// byte-for-byte the order a standalone map holding only that shard's keys
+// would stream — which is what lets an auditor's flat store cross-check a
+// sharded replica's per-shard digests without materializing the shard.
 func (m *Map) RangeShard(shard, shards uint32, fn func(key string, val []byte) bool) {
-	m.root.rang(func(k string, v []byte) bool {
+	m.root.rangCanonical(func(k string, v []byte) bool {
 		if ShardOf(k, shards) != shard {
 			return true
 		}
@@ -211,8 +243,9 @@ func (n *node) set(key string, val []byte, h uint64, level int) (*node, bool) {
 			}
 		}
 		c := n.cloneShallow()
-		c.keys = append(c.keys, key)
-		c.vals = append(c.vals, val)
+		i := sort.SearchStrings(c.keys, key)
+		c.keys = append(c.keys[:i], append([]string{key}, c.keys[i:]...)...)
+		c.vals = append(c.vals[:i], append([][]byte{val}, c.vals[i:]...)...)
 		return c, true
 	}
 	bit := uint32(1) << chunk(h, level)
@@ -246,6 +279,12 @@ func (n *node) set(key string, val []byte, h uint64, level int) (*node, bool) {
 // merge builds the subtree holding two keys that collide at a chunk.
 func merge(k1 string, v1 []byte, h1 uint64, k2 string, v2 []byte, h2 uint64, level int) *node {
 	if level >= maxLevel {
+		// Collision buckets keep keys sorted so canonical order is defined
+		// even where hashes cannot distinguish entries.
+		if k2 < k1 {
+			k1, k2 = k2, k1
+			v1, v2 = v2, v1
+		}
 		return &node{coll: true, keys: []string{k1, k2}, vals: [][]byte{v1, v2}}
 	}
 	c1, c2 := chunk(h1, level), chunk(h2, level)
@@ -321,6 +360,38 @@ func (n *node) rang(fn func(string, []byte) bool) bool {
 	}
 	for _, c := range n.children {
 		if !c.rang(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangCanonical visits entries in canonical order: chunk slots ascending,
+// with a slot's inline entry or child visited in slot position (CHAMP keeps
+// each slot exclusively data or child, so the interleave is well defined).
+// The resulting sequence sorts keys by their hash chunk sequence, which is
+// independent of how the trie was built: an entry inlined at level L in one
+// map and pushed deeper in another still appears at the same rank, because
+// every deeper placement keeps the same level-L chunk. Collision buckets
+// hold keys sorted (merge and set maintain this), closing the one case
+// where the hash alone cannot order entries.
+func (n *node) rangCanonical(fn func(string, []byte) bool) bool {
+	if n.coll {
+		for i, k := range n.keys {
+			if !fn(k, n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for rest := n.dataMap | n.nodeMap; rest != 0; rest &= rest - 1 {
+		bit := rest & -rest
+		if n.dataMap&bit != 0 {
+			i := n.dataIndex(bit)
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		} else if !n.children[n.nodeIndex(bit)].rangCanonical(fn) {
 			return false
 		}
 	}

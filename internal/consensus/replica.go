@@ -185,9 +185,10 @@ type Replica struct {
 
 	// sigOK memoizes successful signature checks by memoKey (digest,
 	// signature, and key bound together), so buffered messages are not
-	// re-verified on every drain pass. peerID holds each peer key's
-	// precomputed ID digest for those memo lookups.
-	sigOK  map[hashsig.Digest]bool
+	// re-verified on every drain pass; bounded by two-generation
+	// eviction. peerID holds each peer key's precomputed ID digest for
+	// those memo lookups.
+	sigOK  *sigMemo
 	peerID map[*hashsig.PublicKey]hashsig.Digest
 
 	// gen counts state transitions that can make buffered messages
@@ -255,7 +256,7 @@ func New(cfg Config) (*Replica, error) {
 		mustRepropose: make(map[uint64]hashsig.Digest),
 		seen:          make(map[slotKey]*Proposal),
 		blamed:        make(map[slotKey]bool),
-		sigOK:         make(map[hashsig.Digest]bool),
+		sigOK:         newSigMemo(),
 		peerID:        peerID,
 	}, nil
 }

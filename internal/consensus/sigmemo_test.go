@@ -1,0 +1,60 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+// TestSigMemoBounded fills the memo far past its budget and checks the
+// two-generation eviction keeps residency within maxSigCache while the
+// hottest (recently re-hit) entries survive rotations.
+func TestSigMemoBounded(t *testing.T) {
+	m := newSigMemo()
+	hot := hashsig.Sum([]byte("hot-entry"))
+	m.add(hot)
+	for i := 0; i < 4*maxSigCache; i++ {
+		if m.len() > maxSigCache {
+			t.Fatalf("memo grew to %d entries, budget is %d", m.len(), maxSigCache)
+		}
+		m.add(hashsig.Sum([]byte(fmt.Sprintf("cold-%d", i))))
+		// Refresh the hot entry every few inserts: a prev-generation hit
+		// must promote it back into cur so it outlives rotations.
+		if i%1024 == 0 && !m.hit(hot) {
+			t.Fatalf("hot entry evicted after %d inserts despite refreshes", i)
+		}
+	}
+	if m.len() > maxSigCache {
+		t.Fatalf("final residency %d exceeds budget %d", m.len(), maxSigCache)
+	}
+	if !m.hit(hot) {
+		t.Fatal("hot entry evicted at end")
+	}
+	// An entry inserted long ago and never re-hit must be gone.
+	if m.hit(hashsig.Sum([]byte("cold-0"))) {
+		t.Fatal("ancient cold entry still resident after many rotations")
+	}
+}
+
+// TestSigMemoPrevHitPromotes pins the promotion contract directly: rotate
+// cur into prev, then a hit must move the key back into cur so the next
+// rotation does not drop it.
+func TestSigMemoPrevHitPromotes(t *testing.T) {
+	m := newSigMemo()
+	k := hashsig.Sum([]byte("promote-me"))
+	m.add(k)
+	m.prev, m.cur = m.cur, make(map[hashsig.Digest]bool) // force a rotation
+	if m.cur[k] {
+		t.Fatal("setup: key should live in prev only")
+	}
+	if !m.hit(k) {
+		t.Fatal("prev-generation entry not found")
+	}
+	if !m.cur[k] {
+		t.Fatal("prev hit did not promote the entry into cur")
+	}
+	if m.hit(hashsig.Sum([]byte("never-added"))) {
+		t.Fatal("miss reported as hit")
+	}
+}

@@ -19,19 +19,55 @@ func (r *Replica) memoKey(t hashsig.VerifyTask) hashsig.Digest {
 	return hashsig.SumMany(t.Digest[:], t.Sig, id[:])
 }
 
-// maxSigCache bounds the verified-signature memo; on overflow the whole map
-// is dropped and re-verification costs are paid again, which only hurts the
-// buffered-message drain, never correctness.
+// maxSigCache bounds the verified-signature memo across both generations;
+// eviction only re-imposes verification costs on the buffered-message
+// drain, never correctness.
 const maxSigCache = 1 << 16
 
-// cacheSig records a successful verification. Only successes are cached: a
-// key says nothing about a failed signature from a different sender.
-func (r *Replica) cacheSig(k hashsig.Digest) {
-	if len(r.sigOK) >= maxSigCache {
-		r.sigOK = make(map[hashsig.Digest]bool)
-	}
-	r.sigOK[k] = true
+// sigMemo is a two-generation set of verified-signature memo keys. Entries
+// land in cur; when cur fills its half of the budget, cur becomes prev and
+// a fresh cur starts, discarding the old prev. A hit in prev promotes the
+// entry back into cur, so signatures still circulating (re-sent prepares,
+// view-change evidence) survive rotations while one-shot traffic ages out
+// within two generations — unlike the previous drop-everything reset, which
+// threw away the hot set alongside the cold on every overflow.
+type sigMemo struct {
+	cur, prev map[hashsig.Digest]bool
 }
+
+func newSigMemo() *sigMemo {
+	return &sigMemo{cur: make(map[hashsig.Digest]bool)}
+}
+
+// hit reports whether k was memoized, refreshing its generation on a
+// prev-hit so repeated lookups keep it resident.
+func (m *sigMemo) hit(k hashsig.Digest) bool {
+	if m.cur[k] {
+		return true
+	}
+	if m.prev[k] {
+		m.add(k)
+		return true
+	}
+	return false
+}
+
+// add records a successful verification. Only successes are cached: a
+// failure says nothing about a different signature from the same sender.
+func (m *sigMemo) add(k hashsig.Digest) {
+	if len(m.cur) >= maxSigCache/2 {
+		m.prev = m.cur
+		m.cur = make(map[hashsig.Digest]bool)
+	}
+	m.cur[k] = true
+}
+
+// len reports resident entries across both generations (prev and cur are
+// disjoint by construction: add never inserts a key already counted in cur,
+// and rotation moves the whole map).
+func (m *sigMemo) len() int { return len(m.cur) + len(m.prev) }
+
+func (r *Replica) cacheSig(k hashsig.Digest) { r.sigOK.add(k) }
 
 // verifyTasks checks every task, consulting the memo first and routing the
 // remainder through the verifier pool (paper §3.4: protocol signature
@@ -44,7 +80,7 @@ func (r *Replica) verifyTasks(tasks []hashsig.VerifyTask) bool {
 	var keys []hashsig.Digest
 	for _, t := range tasks {
 		k := r.memoKey(t)
-		if r.sigOK[k] {
+		if r.sigOK.hit(k) {
 			continue
 		}
 		pending = append(pending, t)
@@ -164,7 +200,7 @@ func (r *Replica) prewarm(msgs []Message) {
 	for _, m := range msgs {
 		for _, t := range r.messageTasks(m, nil) {
 			k := r.memoKey(t)
-			if seen[k] || r.sigOK[k] {
+			if seen[k] || r.sigOK.hit(k) {
 				continue
 			}
 			seen[k] = true

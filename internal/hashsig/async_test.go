@@ -1,0 +1,61 @@
+package hashsig
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSignAsyncMatchesSign(t *testing.T) {
+	key := GenerateKeyFromSeed("async-test")
+	pub := key.Public()
+	d := Sum([]byte("payload"))
+	futures := make([]*SigFuture, 8)
+	for i := range futures {
+		futures[i] = key.SignAsync(d)
+	}
+	for i, f := range futures {
+		sig, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if !pub.Verify(d, sig) {
+			t.Fatalf("future %d: signature does not verify", i)
+		}
+		// Wait is idempotent.
+		again := f.MustWait()
+		if string(again) != string(sig) {
+			t.Fatalf("future %d: second Wait returned a different signature", i)
+		}
+	}
+	if pub.Verify(Sum([]byte("other")), futures[0].MustWait()) {
+		t.Fatal("async signature verified against the wrong digest")
+	}
+}
+
+func TestDefaultPoolTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(2)
+	p2 := DefaultPool()
+	if p2.Workers() != 2 {
+		t.Fatalf("pool at GOMAXPROCS=2 has %d workers", p2.Workers())
+	}
+	runtime.GOMAXPROCS(3)
+	p3 := DefaultPool()
+	if p3.Workers() != 3 {
+		t.Fatalf("pool at GOMAXPROCS=3 has %d workers", p3.Workers())
+	}
+	// The earlier pool stays usable after the change.
+	key := GenerateKeyFromSeed("pool-test")
+	d := Sum([]byte("m"))
+	sig := key.MustSign(d)
+	tasks := []VerifyTask{{Key: key.Public(), Digest: d, Sig: sig}}
+	if !p2.AllValid(tasks) || !p3.AllValid(tasks) {
+		t.Fatal("default pools failed a valid verification")
+	}
+	// Same size is the same cached pool.
+	if DefaultPool() != p3 {
+		t.Fatal("same GOMAXPROCS did not reuse the cached pool")
+	}
+}

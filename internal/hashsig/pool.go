@@ -32,18 +32,31 @@ type poolBatch struct {
 	done    *sync.WaitGroup
 }
 
-// DefaultPool returns a lazily-created process-wide pool sized to
-// GOMAXPROCS. Consensus replicas share it for protocol-message
-// verification unless their configuration injects a dedicated pool; it is
-// never closed.
+// DefaultPool returns a process-wide pool sized to GOMAXPROCS *at the time
+// of the call*, not at first use: `go test -cpu 1,4` runs and processes
+// whose CPU quota changes get a pool matching the current parallelism
+// instead of whichever setting happened to be live when the first caller
+// arrived. Pools are cached per size; a pool handed out earlier stays valid
+// (and is never closed), so callers may hold one across a GOMAXPROCS
+// change without risk — they just stop sharing with new callers.
 func DefaultPool() *VerifierPool {
-	defaultPoolOnce.Do(func() { defaultPool = NewVerifierPool(0) })
-	return defaultPool
+	n := runtime.GOMAXPROCS(0)
+	defaultPoolsMu.Lock()
+	defer defaultPoolsMu.Unlock()
+	if defaultPools == nil {
+		defaultPools = make(map[int]*VerifierPool)
+	}
+	p, ok := defaultPools[n]
+	if !ok {
+		p = NewVerifierPool(n)
+		defaultPools[n] = p
+	}
+	return p
 }
 
 var (
-	defaultPoolOnce sync.Once
-	defaultPool     *VerifierPool
+	defaultPoolsMu sync.Mutex
+	defaultPools   map[int]*VerifierPool
 )
 
 // Workers returns the pool's worker count. Callers use it to decide

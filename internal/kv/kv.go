@@ -134,11 +134,33 @@ type Tx struct {
 	writes  map[string][]byte
 	deletes map[string]bool
 	done    bool
+
+	// Shard-access tracking (BeginTracked): trackShards > 0 enables it, and
+	// touched is a bitset over shard indices recording every key this
+	// transaction read, wrote, or deleted. The parallel executor uses it to
+	// validate an application's declared shard footprint after the fact.
+	trackShards uint32
+	touched     []uint64
 }
 
 func newTx(back txBackend) *Tx {
 	return &Tx{back: back, writes: map[string][]byte{}, deletes: map[string]bool{}}
 }
+
+// touch records key's shard when tracking is enabled.
+func (t *Tx) touch(key string) {
+	if t.trackShards == 0 {
+		return
+	}
+	s := champ.ShardOf(key, t.trackShards)
+	t.touched[s>>6] |= 1 << (s & 63)
+}
+
+// TouchedShards returns the bitset of shards this transaction accessed
+// (word i bit j covers shard i*64+j), or nil when the transaction was not
+// started with tracking. The slice is the live bitset; callers must not
+// mutate it.
+func (t *Tx) TouchedShards() []uint64 { return t.touched }
 
 // active panics if the transaction has already finished.
 func (t *Tx) active(op string) {
@@ -153,6 +175,7 @@ func (t *Tx) active(op string) {
 // would change what Commit publishes).
 func (t *Tx) Get(key string) ([]byte, bool) {
 	t.active("Get")
+	t.touch(key)
 	if t.deletes[key] {
 		return nil, false
 	}
@@ -169,6 +192,7 @@ func (t *Tx) Get(key string) ([]byte, bool) {
 // Put buffers a write. The value is copied.
 func (t *Tx) Put(key string, val []byte) {
 	t.active("Put")
+	t.touch(key)
 	delete(t.deletes, key)
 	t.writes[key] = append([]byte(nil), val...)
 }
@@ -176,6 +200,7 @@ func (t *Tx) Put(key string, val []byte) {
 // Delete buffers a deletion.
 func (t *Tx) Delete(key string) {
 	t.active("Delete")
+	t.touch(key)
 	delete(t.writes, key)
 	t.deletes[key] = true
 }
@@ -244,7 +269,9 @@ func (s *Store) Serialize(w io.Writer) error {
 // ShardedStore.ShardDigest reports for that shard when its contents match.
 // An auditor holding a flat replay of the state can thereby pinpoint which
 // shard of a sharded replica diverged, shard by shard, without ever
-// materializing a sharded copy of the whole store.
+// materializing a sharded copy of the whole store. RangeShard yields keys in
+// canonical order already, so the collected entries stream with no sort pass
+// (they are collected only because the count is not known up front).
 func (s *Store) ShardDigest(shard, shards uint32) hashsig.Digest {
 	var entries []sortedEntry
 	s.cur.RangeShard(shard, shards, func(k string, v []byte) bool {
@@ -255,23 +282,23 @@ func (s *Store) ShardDigest(shard, shards uint32) hashsig.Digest {
 }
 
 func (s *Store) writeSorted(w *wire.Writer) error {
-	encodeMapSorted(w, s.cur)
+	encodeEntriesSorted(w, collectEntries(make([]sortedEntry, 0, s.cur.Len()), s.cur))
 	return w.Flush()
 }
 
 // sortedEntry is a (key, value) reference collected while walking a trie,
-// for streaming in canonical order. Values are never copied.
+// for streaming in a deterministic order. Values are never copied.
 type sortedEntry struct {
 	key string
 	val []byte
 }
 
-// encodeEntriesSorted sorts entries by key and streams them in the
-// canonical checkpoint form: count, then (key, value) pairs in ascending
-// key order. It is the single definition of that form — flat store
-// serialization, per-shard digests, and cross-audit shard digests all
-// funnel through it, which is what keeps a sharded and an unsharded store
-// byte-compatible over the same contents.
+// encodeEntriesSorted sorts entries by key and streams them in the flat
+// checkpoint form: count, then (key, value) pairs in ascending key order.
+// The flat stream (Store.Serialize, the partition-independent Digest) is
+// key-sorted so that it stays a plain wire codec any party can produce
+// without knowing champ's hash; per-shard streams use encodeMapCanonical
+// instead, which needs no sort pass.
 func encodeEntriesSorted(w *wire.Writer, entries []sortedEntry) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	w.Uint64(uint64(len(entries)))
@@ -293,17 +320,31 @@ func collectEntries(dst []sortedEntry, m *champ.Map) []sortedEntry {
 	return dst
 }
 
-// encodeMapSorted streams one map in the canonical checkpoint form.
-func encodeMapSorted(w *wire.Writer, m *champ.Map) {
-	encodeEntriesSorted(w, collectEntries(make([]sortedEntry, 0, m.Len()), m))
+// encodeMapCanonical streams one map in the per-shard checkpoint form:
+// count, then (key, value) pairs in champ's canonical iteration order. One
+// pass over the trie, no intermediate collection and no sort — this is what
+// per-dirty-shard digest recomputation pays at every checkpoint, so it is
+// the hot half of d_C.
+func encodeMapCanonical(w *wire.Writer, m *champ.Map) {
+	w.Uint64(uint64(m.Len()))
+	m.RangeCanonical(func(k string, v []byte) bool {
+		w.String(k)
+		w.Bytes(v)
+		return w.Err() == nil
+	})
 }
 
-// digestOfEntries returns the digest of the canonical serialization of the
-// given entries (sorting them in place).
+// digestOfEntries returns the digest of the per-shard serialization of the
+// given entries, which must already be in canonical order (as RangeShard
+// yields them).
 func digestOfEntries(entries []sortedEntry) hashsig.Digest {
 	h := newDigestWriter()
 	w := wire.NewWriter(h)
-	encodeEntriesSorted(w, entries)
+	w.Uint64(uint64(len(entries)))
+	for _, e := range entries {
+		w.String(e.key)
+		w.Bytes(e.val)
+	}
 	if err := w.Flush(); err != nil {
 		// digestWriter never fails.
 		panic(err)
@@ -311,9 +352,16 @@ func digestOfEntries(entries []sortedEntry) hashsig.Digest {
 	return h.sum()
 }
 
-// digestOfMap returns the digest of one map's canonical serialization.
+// digestOfMap returns the digest of one map's per-shard serialization.
 func digestOfMap(m *champ.Map) hashsig.Digest {
-	return digestOfEntries(collectEntries(make([]sortedEntry, 0, m.Len()), m))
+	h := newDigestWriter()
+	w := wire.NewWriter(h)
+	encodeMapCanonical(w, m)
+	if err := w.Flush(); err != nil {
+		// digestWriter never fails.
+		panic(err)
+	}
+	return h.sum()
 }
 
 // Restore replaces the store contents with a stream produced by Serialize.

@@ -138,6 +138,19 @@ func (s *ShardedStore) Begin() *Tx {
 	return newTx(&shardedTxBackend{store: s, base: s.shards})
 }
 
+// BeginTracked starts a transaction like Begin, additionally recording
+// which shards every Get/Put/Delete touches (Tx.TouchedShards). The
+// parallel batch executor runs transactions under tracking so an
+// application's declared shard footprint can be checked against the shards
+// it actually accessed — the safety net that lets a wrong Footprint
+// implementation degrade to sequential re-execution instead of divergence.
+func (s *ShardedStore) BeginTracked() *Tx {
+	tx := s.Begin()
+	tx.trackShards = uint32(len(s.shards))
+	tx.touched = make([]uint64, (len(s.shards)+63)/64)
+	return tx
+}
+
 // shardedTxBackend runs a transaction against a ShardedStore.
 type shardedTxBackend struct {
 	store *ShardedStore
@@ -327,14 +340,15 @@ func (s *ShardedStore) encodeSortedFlat(w *wire.Writer) {
 }
 
 // Serialize writes the sharded checkpoint: the shard count, then each
-// shard's canonical stream in shard order. Shard placement is deterministic,
-// so two stores with identical contents and shard count serialize
-// identically.
+// shard's canonical stream in shard order. Shard placement and champ's
+// canonical iteration order are both deterministic, so two stores with
+// identical contents and shard count serialize identically — in one pass,
+// with no per-shard sort.
 func (s *ShardedStore) Serialize(w io.Writer) error {
 	ww := wire.NewWriter(w)
 	ww.Uint32(uint32(len(s.shards)))
 	for _, m := range s.shards {
-		encodeMapSorted(ww, m)
+		encodeMapCanonical(ww, m)
 	}
 	return ww.Flush()
 }

@@ -1,0 +1,78 @@
+package kv
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"iaccf/internal/champ"
+)
+
+func popcount(bs []uint64) int {
+	n := 0
+	for _, w := range bs {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func hasShard(bs []uint64, s uint32) bool {
+	return bs[s>>6]&(1<<(s&63)) != 0
+}
+
+func TestBeginTrackedRecordsTouchedShards(t *testing.T) {
+	const shards = 16
+	s := NewSharded(shards)
+	tx := s.BeginTracked()
+	if got := tx.TouchedShards(); popcount(got) != 0 {
+		t.Fatalf("fresh tracked tx already touched %v", got)
+	}
+	want := map[uint32]bool{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		want[champ.ShardOf(k, shards)] = true
+		switch i % 3 {
+		case 0:
+			tx.Put(k, []byte("v"))
+		case 1:
+			tx.Get(k)
+		case 2:
+			tx.Delete(k)
+		}
+	}
+	got := tx.TouchedShards()
+	if popcount(got) != len(want) {
+		t.Fatalf("touched %d shards, want %d", popcount(got), len(want))
+	}
+	for sh := range want {
+		if !hasShard(got, sh) {
+			t.Fatalf("shard %d accessed but not recorded", sh)
+		}
+	}
+	tx.Commit()
+
+	// Untracked transactions carry no bitset.
+	tx2 := s.Begin()
+	tx2.Put("k", []byte("v"))
+	if tx2.TouchedShards() != nil {
+		t.Fatal("untracked tx reports touched shards")
+	}
+	tx2.Abort()
+}
+
+func TestBeginTrackedWideShardCount(t *testing.T) {
+	// Shard counts above 64 need multi-word bitsets.
+	const shards = 200
+	s := NewSharded(shards)
+	tx := s.BeginTracked()
+	k := "some-key"
+	tx.Put(k, []byte("v"))
+	got := tx.TouchedShards()
+	if len(got) != (shards+63)/64 {
+		t.Fatalf("bitset has %d words", len(got))
+	}
+	if popcount(got) != 1 || !hasShard(got, champ.ShardOf(k, shards)) {
+		t.Fatalf("touched bitset %v, want only shard %d", got, champ.ShardOf(k, shards))
+	}
+	tx.Abort()
+}

@@ -67,6 +67,23 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	if h.Shards != l.cfg.Shards {
 		return nil, fmt.Errorf("%w: batch built under %d shards, replica runs %d", ErrApply, h.Shards, l.cfg.Shards)
 	}
+	// Speculative co-signature: the fields this replica will sign on success
+	// are the proposer's exact field values (adopting the header means
+	// committing to identical roots), so the ECDSA sign — the largest fixed
+	// cost of the apply path — starts now and overlaps the entire
+	// re-execution. A rejected batch wastes one signature, which is cheap
+	// next to the re-execution a rejection already paid for.
+	own := BatchHeader{
+		Seq:        h.Seq,
+		HistSize:   h.HistSize,
+		MRoot:      h.MRoot,
+		GRoot:      h.GRoot,
+		GSize:      h.GSize,
+		Shards:     h.Shards,
+		CkptDigest: h.CkptDigest,
+	}
+	sigf := l.cfg.Key.SignAsync(own.SigningDigest())
+
 	seq := l.nextSeq
 	l.store.Mark(seq)
 	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
@@ -80,50 +97,72 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 
 	ckptDue := seq%l.cfg.CheckpointEvery == 0
 	// Entry digesting overlaps re-execution, mirroring ExecuteBatch's
-	// pipeline: digests are only read after hasher.wait(). The deferred wait
-	// releases the workers on every reject path.
+	// pipeline. Unlike the executor, every entry is final on arrival —
+	// re-execution compares results, it never sets them — so all entries are
+	// submitted up front and hash while transactions re-run. Digests are
+	// only read after hasher.wait(); the deferred wait releases the workers
+	// on every reject path.
 	digests := make([]hashsig.Digest, len(b.Entries))
 	hasher := newEntryHasher(digests, len(b.Entries))
 	defer hasher.wait()
 	for ei := range b.Entries {
-		e := &b.Entries[ei]
-		switch e.Kind {
-		case KindTransaction:
-			tx := l.store.Begin()
-			var got hashsig.Digest
-			if err := l.cfg.App.Execute(tx, e.Payload); err != nil {
-				tx.Abort()
-			} else {
-				got = tx.WriteSetDigest()
-				tx.Commit()
-			}
-			if got != e.Result {
-				return reject(fmt.Errorf("%w: batch %d entry %d: result digest mismatch", ErrApply, seq, ei))
-			}
-		case KindGovernance:
-			// Recorded, no state effect.
-		case KindCheckpoint:
-			// A correct proposer appends exactly one checkpoint marker, last,
-			// and only when the interval says one is due; anything else would
-			// desynchronize lastCkpt across honest replicas even if the digest
-			// itself happens to match.
-			if !ckptDue || ei != len(b.Entries)-1 {
-				return reject(fmt.Errorf("%w: batch %d entry %d: unexpected checkpoint marker", ErrApply, seq, ei))
-			}
-			if e.Seq != seq {
-				return reject(fmt.Errorf("%w: batch %d entry %d: checkpoint labelled %d", ErrApply, seq, ei, e.Seq))
-			}
-			if got := l.store.CheckpointDigest(); got != e.State {
-				return reject(fmt.Errorf("%w: batch %d: checkpoint digest mismatch", ErrApply, seq))
-			}
-			l.lastCkpt = e.State
-		default:
-			return reject(fmt.Errorf("%w: batch %d entry %d: unknown kind %d", ErrApply, seq, ei, e.Kind))
-		}
-		hasher.submit(ei, e)
+		hasher.submit(ei, &b.Entries[ei])
 	}
-	if ckptDue && (len(b.Entries) == 0 || b.Entries[len(b.Entries)-1].Kind != KindCheckpoint) {
-		return reject(fmt.Errorf("%w: batch %d: checkpoint marker due but absent", ErrApply, seq))
+
+	applied := false
+	if f, ok := l.parallelExec(len(b.Entries)); ok {
+		applied = l.applyEntriesParallel(f, seq, b)
+		if !applied {
+			// Any anomaly — a result mismatch, a violated footprint, a
+			// malformed checkpoint — discards the speculation and re-runs
+			// the sequential loop below, which reports the exact error the
+			// unparallelized replica would have.
+			if err := l.store.RollbackTo(seq); err != nil {
+				panic(err)
+			}
+			l.store.Mark(seq)
+		}
+	}
+	if !applied {
+		for ei := range b.Entries {
+			e := &b.Entries[ei]
+			switch e.Kind {
+			case KindTransaction:
+				tx := l.store.Begin()
+				var got hashsig.Digest
+				if err := l.cfg.App.Execute(tx, e.Payload); err != nil {
+					tx.Abort()
+				} else {
+					got = tx.WriteSetDigest()
+					tx.Commit()
+				}
+				if got != e.Result {
+					return reject(fmt.Errorf("%w: batch %d entry %d: result digest mismatch", ErrApply, seq, ei))
+				}
+			case KindGovernance:
+				// Recorded, no state effect.
+			case KindCheckpoint:
+				// A correct proposer appends exactly one checkpoint marker, last,
+				// and only when the interval says one is due; anything else would
+				// desynchronize lastCkpt across honest replicas even if the digest
+				// itself happens to match.
+				if !ckptDue || ei != len(b.Entries)-1 {
+					return reject(fmt.Errorf("%w: batch %d entry %d: unexpected checkpoint marker", ErrApply, seq, ei))
+				}
+				if e.Seq != seq {
+					return reject(fmt.Errorf("%w: batch %d entry %d: checkpoint labelled %d", ErrApply, seq, ei, e.Seq))
+				}
+				if got := l.store.CheckpointDigest(); got != e.State {
+					return reject(fmt.Errorf("%w: batch %d: checkpoint digest mismatch", ErrApply, seq))
+				}
+				l.lastCkpt = e.State
+			default:
+				return reject(fmt.Errorf("%w: batch %d entry %d: unknown kind %d", ErrApply, seq, ei, e.Kind))
+			}
+		}
+		if ckptDue && (len(b.Entries) == 0 || b.Entries[len(b.Entries)-1].Kind != KindCheckpoint) {
+			return reject(fmt.Errorf("%w: batch %d: checkpoint marker due but absent", ErrApply, seq))
+		}
 	}
 	hasher.wait()
 
@@ -153,16 +192,7 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 		return reject(fmt.Errorf("%w: batch %d: checkpoint reference mismatch", ErrApply, seq))
 	}
 
-	own := BatchHeader{
-		Seq:        seq,
-		HistSize:   h.HistSize,
-		MRoot:      h.MRoot,
-		GRoot:      h.GRoot,
-		GSize:      h.GSize,
-		Shards:     h.Shards,
-		CkptDigest: h.CkptDigest,
-	}
-	own.Sig = l.cfg.Key.MustSign(own.SigningDigest())
+	own.Sig = sigf.MustWait()
 	// The retained stream carries this replica's own signature, so replaying
 	// Batches() verifies against this replica's key; entries are shared with
 	// the caller and treated as immutable, like Batches().

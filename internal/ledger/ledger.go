@@ -288,17 +288,22 @@ func entryShard(e *Entry, shards uint32) uint32 {
 	return kv.ShardOfKey(string(e.Author[:]), shards)
 }
 
-// ExecuteBatch executes the requests as one batch through a two-stage
-// pipeline (paper §6). The execution stage runs each transaction in its own
-// kv transaction against the sharded store (aborting individually on
-// error); as each entry completes it is handed to a concurrent hashing
-// stage that computes entry digests while later transactions are still
-// executing. The digests are then grouped into per-shard batch trees G_s
-// (built in parallel across a bounded worker pool) whose roots combine
-// into the single ¯G the header signs; every entry is appended to M in
-// ledger order, a checkpoint marker (with the incremental sharded digest
-// d_C) is appended when due, and the signed header plus one receipt per
-// transaction entry are returned.
+// ExecuteBatch executes the requests as one batch (paper §6). When the
+// batch, shard count, CPU count, and app allow it (see exec_parallel.go),
+// requests are grouped into conflict-free waves by declared shard
+// footprint and executed concurrently, with a sequential re-run as the
+// safety net — the emitted entries, header, and receipts are byte-identical
+// either way. The sequential core runs each transaction in its own kv
+// transaction (aborting individually on error) and overlaps entry
+// digesting with execution through a concurrent hashing stage. The digests
+// are then grouped into per-shard batch trees G_s (built in parallel
+// across a bounded worker pool) whose roots combine into the single ¯G the
+// header signs; every entry is appended to M in ledger order, a checkpoint
+// marker (with the incremental sharded digest d_C) is appended when due,
+// and the signed header plus one receipt per transaction entry are
+// returned. The header's ECDSA signature is computed concurrently with
+// receipt construction — the last serial hot path on the commit critical
+// path.
 func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	for i := range reqs {
 		if len(reqs[i].Body) > MaxRequestLen {
@@ -310,53 +315,22 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	l.store.Mark(seq)
 	l.marks = append(l.marks, ledgerMark{seq: seq, histSize: l.hist.Size(), lastCkpt: l.lastCkpt})
 
-	// Stage 2 (hashing) consumes completed entries concurrently with stage 1
-	// (execution). Entry digesting hashes full payloads — for large batches
-	// this is comparable to execution itself, and the two overlap here.
-	maxEntries := len(reqs) + 1 // every request plus at most one checkpoint marker
-	entries := make([]Entry, 0, maxEntries)
-	digests := make([]hashsig.Digest, maxEntries)
-	hasher := newEntryHasher(digests, maxEntries)
 	// If anything below panics (a buggy App retaining a finished Tx, say),
-	// the deferred wait still releases the hashing workers; the mark pushed
-	// above stays, so a caller that recovers can RollbackTo(seq) to discard
-	// the half-executed batch.
-	defer hasher.wait()
-	emit := func() {
-		i := len(entries) - 1
-		hasher.submit(i, &entries[i])
+	// the execution cores release their hashing and wave workers on the way
+	// out; the mark pushed above stays, so a caller that recovers can
+	// RollbackTo(seq) to discard the half-executed batch.
+	maxEntries := len(reqs) + 1 // every request plus at most one checkpoint marker
+	digests := make([]hashsig.Digest, maxEntries)
+	var entries []Entry
+	var txIdx []int
+	executed := false
+	if f, ok := l.parallelExec(len(reqs)); ok {
+		entries = make([]Entry, len(reqs), maxEntries)
+		txIdx, executed = l.runParallel(f, seq, reqs, entries, digests)
 	}
-
-	txIdx := make([]int, 0, len(reqs))
-	for _, req := range reqs {
-		if req.Governance {
-			entries = append(entries, Entry{
-				Kind:    KindGovernance,
-				Author:  req.Author,
-				Payload: append([]byte(nil), req.Body...),
-			})
-			emit()
-			continue
-		}
-		e := Entry{
-			Kind:    KindTransaction,
-			Author:  req.Author,
-			ReqNo:   req.ReqNo,
-			Payload: append([]byte(nil), req.Body...),
-		}
-		tx := l.store.Begin()
-		if err := l.cfg.App.Execute(tx, req.Body); err != nil {
-			// Failed transactions are still recorded, with a zero result:
-			// the ledger holds clients accountable for what they submitted,
-			// not only for what succeeded.
-			tx.Abort()
-		} else {
-			e.Result = tx.WriteSetDigest()
-			tx.Commit()
-		}
-		txIdx = append(txIdx, len(entries))
-		entries = append(entries, e)
-		emit()
+	if !executed {
+		entries = make([]Entry, 0, maxEntries)
+		entries, txIdx = l.runSequential(reqs, entries, digests)
 	}
 
 	if seq%l.cfg.CheckpointEvery == 0 {
@@ -364,10 +338,9 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		// re-hashed (the refactor's perf win over the old full rescan).
 		d := l.store.CheckpointDigest()
 		entries = append(entries, Entry{Kind: KindCheckpoint, Seq: seq, State: d})
-		emit()
+		digests[len(entries)-1] = entries[len(entries)-1].Digest()
 		l.lastCkpt = d
 	}
-	hasher.wait()
 
 	shards := l.cfg.Shards
 	shardOf := make([]uint32, len(entries))
@@ -409,7 +382,10 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		Shards:     shards,
 		CkptDigest: l.lastCkpt,
 	}
-	header.Sig = l.cfg.Key.MustSign(header.SigningDigest())
+	// The ECDSA sign runs concurrently with receipt construction below; the
+	// signature is patched into the batch and every receipt once both are
+	// done. Nothing observes the header before this function returns.
+	sigf := l.cfg.Key.SignAsync(header.SigningDigest())
 
 	batch := &Batch{Header: header, Entries: entries}
 	receipts := make([]Receipt, len(txIdx))
@@ -430,9 +406,66 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 			Path:      path,
 		}
 	}
+	sig := sigf.MustWait()
+	batch.Header.Sig = sig
+	for i := range receipts {
+		receipts[i].Header.Sig = sig
+	}
 	l.batches = append(l.batches, batch)
 	l.nextSeq = seq + 1
 	return batch, receipts, nil
+}
+
+// runSequential is the reference execution core: one kv transaction per
+// request, strictly in batch order, with entry digesting pipelined through
+// hasher. It is both the single-core fast path and the fallback that
+// re-executes a batch whose speculative parallel run was abandoned; its
+// behaviour defines what the parallel core must reproduce byte-for-byte.
+func (l *Ledger) runSequential(reqs []Request, entries []Entry, digests []hashsig.Digest) ([]Entry, []int) {
+	// Stage 2 (hashing) consumes completed entries concurrently with stage 1
+	// (execution). Entry digesting hashes full payloads — for large batches
+	// this is comparable to execution itself, and the two overlap here. The
+	// deferred wait releases the workers even if the App panics.
+	hasher := newEntryHasher(digests, cap(entries))
+	defer hasher.wait()
+	emit := func() {
+		i := len(entries) - 1
+		hasher.submit(i, &entries[i])
+	}
+
+	txIdx := make([]int, 0, len(reqs))
+	for _, req := range reqs {
+		if req.Governance {
+			entries = append(entries, Entry{
+				Kind:    KindGovernance,
+				Author:  req.Author,
+				Payload: append([]byte(nil), req.Body...),
+			})
+			emit()
+			continue
+		}
+		e := Entry{
+			Kind:    KindTransaction,
+			Author:  req.Author,
+			ReqNo:   req.ReqNo,
+			Payload: append([]byte(nil), req.Body...),
+		}
+		tx := l.store.Begin()
+		if err := l.cfg.App.Execute(tx, req.Body); err != nil {
+			// Failed transactions are still recorded, with a zero result:
+			// the ledger holds clients accountable for what they submitted,
+			// not only for what succeeded.
+			tx.Abort()
+		} else {
+			e.Result = tx.WriteSetDigest()
+			tx.Commit()
+		}
+		txIdx = append(txIdx, len(entries))
+		entries = append(entries, e)
+		emit()
+	}
+	hasher.wait()
+	return entries, txIdx
 }
 
 // RollbackTo undoes batch seq and everything after it, restoring the store,

@@ -6,6 +6,48 @@ import (
 	"testing"
 )
 
+// TestForEachSizesPoolAtUseTime pins the satellite property that ForEach
+// reads GOMAXPROCS when called, not at package init: after dropping to one
+// CPU mid-process every call degrades to the strictly-ordered inline loop,
+// and after raising it the worker count (hence peak concurrency) is bounded
+// by the new setting — which is what keeps `go test -cpu 1,4` and
+// container CPU-quota changes honest.
+func TestForEachSizesPoolAtUseTime(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	// One CPU: inline, so indices arrive in strict order on the caller's
+	// goroutine no matter how large the work estimate is.
+	runtime.GOMAXPROCS(1)
+	var order []int
+	ForEach(64, 1<<20, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("GOMAXPROCS=1 ran out of order at %d: %d", i, got)
+		}
+	}
+	if len(order) != 64 {
+		t.Fatalf("GOMAXPROCS=1 visited %d of 64", len(order))
+	}
+
+	// Two CPUs, same process: at most two calls are ever in flight.
+	runtime.GOMAXPROCS(2)
+	var inFlight, peak atomic.Int32
+	ForEach(64, 1<<20, 1, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("GOMAXPROCS=2 reached concurrency %d", got)
+	}
+}
+
 // TestForEachCoversEveryIndexOnce pins GOMAXPROCS above 1 so the worker
 // path runs even on a single-CPU box (where it would otherwise always
 // degrade to the inline loop), and checks each index is visited exactly
