@@ -1,7 +1,9 @@
 // Command benchcmp is the CI benchmark-regression gate: it parses two
 // `go test -json -bench` output files (the committed baseline and the
 // current run), matches benchmark results by name, and fails when a
-// watched benchmark regresses beyond the tolerance. It also supports
+// watched benchmark regresses beyond the tolerance on ns/op, B/op, or
+// allocs/op (the latter two only when both files carry -benchmem
+// numbers). It also supports
 // intra-run assertions: `-faster A:B` proves the pipelined consensus
 // window sustains at least the serial baseline's throughput, and
 // `-scale A:B:factor` proves a multi-core run (`-cpu` variants are
@@ -169,18 +171,29 @@ func main() {
 					continue
 				}
 				matched++
-				if base.nsPerOp <= 0 {
-					continue
+				// ns/op gates wall time; B/op and allocs/op gate the
+				// allocation profile, so a change that keeps latency by
+				// trading it for GC pressure still fails the gate. Units
+				// absent from either file (a baseline recorded without
+				// -benchmem) are skipped, not failed.
+				for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+					bv, cv := base.nsPerOp, cur.nsPerOp
+					if unit != "ns/op" {
+						bv, cv = base.metrics[unit], cur.metrics[unit]
+					}
+					if bv <= 0 {
+						continue
+					}
+					ratio := cv/bv - 1
+					status := "ok"
+					if ratio > *tolerance {
+						report("%s: %s regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
+							name, unit, ratio*100, bv, cv, *tolerance*100)
+						status = "REGRESSED"
+					}
+					fmt.Printf("%-60s %-9s %12.0f -> %12.0f  (%+.1f%%) %s\n",
+						name, unit, bv, cv, ratio*100, status)
 				}
-				ratio := cur.nsPerOp/base.nsPerOp - 1
-				status := "ok"
-				if ratio > *tolerance {
-					report("%s: ns/op regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
-						name, ratio*100, base.nsPerOp, cur.nsPerOp, *tolerance*100)
-					status = "REGRESSED"
-				}
-				fmt.Printf("%-60s ns/op %12.0f -> %12.0f  (%+.1f%%) %s\n",
-					name, base.nsPerOp, cur.nsPerOp, ratio*100, status)
 			}
 			if matched == 0 {
 				if *allowMissing {

@@ -11,7 +11,6 @@
 package consensus
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -84,14 +83,19 @@ func (p *Proposal) Seq() uint64 { return p.Header.Seq }
 
 // SigningDigest returns the digest the primary signs: the view, its own
 // identity, the header's signing digest (not its malleable signature
-// bytes), and the nonce commitment, domain separated.
+// bytes), and the nonce commitment, domain separated. Signing preimages
+// here and below are assembled in pooled scratch: these run for every
+// message sent and verified, and must not allocate per call.
 func (p *Proposal) SigningDigest() hashsig.Digest {
-	b := append([]byte(nil), proposalDomain...)
+	b := wire.GetScratch(128)
+	b = append(b, proposalDomain...)
 	b = wire.AppendUint64(b, p.View)
 	b = wire.AppendUint32(b, uint32(p.Primary))
 	b = wire.AppendDigest(b, p.Header.SigningDigest())
 	b = wire.AppendDigest(b, p.NonceCommit)
-	return hashsig.Sum(b)
+	d := hashsig.Sum(b)
+	wire.PutScratch(b)
+	return d
 }
 
 // Verify reports whether the proposal carries a valid signature by pub.
@@ -136,9 +140,14 @@ func (m *PrePrepare) Batch() *ledger.Batch {
 func (m *PrePrepare) encodeBody(w *wire.Writer) {
 	m.Prop.encodeTo(w)
 	w.Uint32(uint32(len(m.Entries)))
+	// One pooled scratch buffer serves every entry: w.Bytes copies the
+	// encoding into the frame, so the scratch never escapes.
+	b := wire.GetScratch(256)
 	for i := range m.Entries {
-		w.Bytes(m.Entries[i].Encode(nil))
+		b = m.Entries[i].Encode(b[:0])
+		w.Bytes(b)
 	}
+	wire.PutScratch(b)
 }
 
 func decodePrePrepare(r *wire.Reader) *PrePrepare {
@@ -150,7 +159,10 @@ func decodePrePrepare(r *wire.Reader) *PrePrepare {
 	}
 	m.Entries = make([]ledger.Entry, 0, min(ne, 1024))
 	for i := uint32(0); i < ne && r.Err() == nil; i++ {
-		b := r.Bytes(wire.MaxValueLen)
+		// View, not copy: DecodeEntry itself copies everything an Entry
+		// retains (Payload), so the frame slice is only read within the loop
+		// body and one copy per entry is saved in bytes mode.
+		b := r.BytesView(wire.MaxValueLen)
 		if r.Err() != nil {
 			break
 		}
@@ -182,11 +194,14 @@ func (m *Prepare) Type() MsgType { return MsgPrepare }
 // SigningDigest covers the backup's identity, the proposal it answers, and
 // the backup's nonce commitment.
 func (m *Prepare) SigningDigest() hashsig.Digest {
-	b := append([]byte(nil), prepareDomain...)
+	b := wire.GetScratch(128)
+	b = append(b, prepareDomain...)
 	b = wire.AppendUint32(b, uint32(m.Replica))
 	b = wire.AppendDigest(b, m.Prop.SigningDigest())
 	b = wire.AppendDigest(b, m.NonceCommit)
-	return hashsig.Sum(b)
+	d := hashsig.Sum(b)
+	wire.PutScratch(b)
+	return d
 }
 
 // Verify reports whether the prepare carries a valid signature by pub.
@@ -286,7 +301,8 @@ func (m *ViewChange) Type() MsgType { return MsgViewChange }
 // number, and the identity of every prepared proposal in order; the
 // prepared entries are bound transitively through each header's ¯G.
 func (m *ViewChange) SigningDigest() hashsig.Digest {
-	b := append([]byte(nil), viewChangeDomain...)
+	b := wire.GetScratch(64 + 32*len(m.Prepared))
+	b = append(b, viewChangeDomain...)
 	b = wire.AppendUint64(b, m.NewView)
 	b = wire.AppendUint32(b, uint32(m.Replica))
 	b = wire.AppendUint64(b, m.CommittedSeq)
@@ -294,7 +310,9 @@ func (m *ViewChange) SigningDigest() hashsig.Digest {
 	for i := range m.Prepared {
 		b = wire.AppendDigest(b, m.Prepared[i].PP.Prop.SigningDigest())
 	}
-	return hashsig.Sum(b)
+	d := hashsig.Sum(b)
+	wire.PutScratch(b)
+	return d
 }
 
 // Verify reports whether the view-change carries a valid signature by pub.
@@ -388,17 +406,22 @@ func (m *NewView) Type() MsgType { return MsgNewView }
 // (its signing digest and signature bytes, so the certificate cannot be
 // reshuffled under the same signature).
 func (m *NewView) SigningDigest() hashsig.Digest {
-	h := hashsig.NewHasher()
+	h := hashsig.BorrowHasher()
 	h.Write(newViewDomain)
-	h.Write(wire.AppendUint64(nil, m.View))
-	h.Write(wire.AppendUint32(nil, uint32(m.Replica)))
+	var u [8]byte
+	h.Write(wire.AppendUint64(u[:0], m.View))
+	h.Write(wire.AppendUint32(u[:0], uint32(m.Replica)))
 	for i := range m.VCs {
 		d := m.VCs[i].SigningDigest()
 		h.Write(d[:])
-		h.Write(wire.AppendBytes(nil, m.VCs[i].Sig))
+		// Same bytes as wire.AppendBytes: uint32 length prefix, then the
+		// signature, streamed without assembling an intermediate slice.
+		h.Write(wire.AppendUint32(u[:0], uint32(len(m.VCs[i].Sig))))
+		h.Write(m.VCs[i].Sig)
 	}
 	var d hashsig.Digest
 	h.Sum(d[:0])
+	hashsig.ReturnHasher(h)
 	return d
 }
 
@@ -436,24 +459,27 @@ func decodeNewView(r *wire.Reader) *NewView {
 }
 
 // EncodeMessage serializes a message as one self-describing frame: the type
-// tag byte, then the body in the deterministic wire codec.
+// tag byte, then the body in the deterministic wire codec. The frame is
+// built with the append-mode writer — one allocation for the frame itself,
+// no bufio buffer, no bytes.Buffer growth chain. The returned slice is
+// freshly allocated and owned by the caller: frames outlive the call (they
+// sit in transport queues), so they are never pooled.
 func EncodeMessage(m Message) []byte {
-	var buf bytes.Buffer
-	w := wire.NewWriter(&buf)
+	w := wire.NewAppendWriter(make([]byte, 0, 256))
 	w.Uint32(uint32(m.Type()))
 	m.encodeBody(w)
 	if err := w.Flush(); err != nil {
-		// Writing to a bytes.Buffer never fails.
+		// Appending never fails.
 		panic(err)
 	}
-	return buf.Bytes()
+	return w.AppendedBytes()
 }
 
 // DecodeMessage parses a frame produced by EncodeMessage. Malformed and
 // hostile inputs — unknown tags, truncation, oversized counts, trailing
 // garbage — return an error, never panic.
 func DecodeMessage(b []byte) (Message, error) {
-	r := wire.NewReader(bytes.NewReader(b))
+	r := wire.NewBytesReader(b)
 	var m Message
 	tag := r.Uint32()
 	if r.Err() == nil && tag > uint32(MsgNewView) {

@@ -11,8 +11,10 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
+	"sync"
 
 	"iaccf/internal/champ"
 	"iaccf/internal/hashsig"
@@ -219,7 +221,7 @@ func (t *Tx) WriteSetDigest() hashsig.Digest {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	h := make([]byte, 0, 256)
+	h := wire.GetScratch(256)
 	for _, k := range keys {
 		h = wire.AppendString(h, k)
 		if t.deletes[k] {
@@ -229,7 +231,9 @@ func (t *Tx) WriteSetDigest() hashsig.Digest {
 			h = wire.AppendBytes(h, t.writes[k])
 		}
 	}
-	return hashsig.Sum(h)
+	d := hashsig.Sum(h)
+	wire.PutScratch(h)
+	return d
 }
 
 // Commit applies the buffered effects to the store.
@@ -336,10 +340,11 @@ func encodeMapCanonical(w *wire.Writer, m *champ.Map) {
 
 // digestOfEntries returns the digest of the per-shard serialization of the
 // given entries, which must already be in canonical order (as RangeShard
-// yields them).
+// yields them). The serialization streams straight into a borrowed hasher
+// through an unbuffered writer: no bufio buffer, no hasher allocation.
 func digestOfEntries(entries []sortedEntry) hashsig.Digest {
-	h := newDigestWriter()
-	w := wire.NewWriter(h)
+	h := borrowDigestWriter()
+	w := wire.NewDirectWriter(h)
 	w.Uint64(uint64(len(entries)))
 	for _, e := range entries {
 		w.String(e.key)
@@ -349,19 +354,19 @@ func digestOfEntries(entries []sortedEntry) hashsig.Digest {
 		// digestWriter never fails.
 		panic(err)
 	}
-	return h.sum()
+	return h.sumAndReturn()
 }
 
 // digestOfMap returns the digest of one map's per-shard serialization.
 func digestOfMap(m *champ.Map) hashsig.Digest {
-	h := newDigestWriter()
-	w := wire.NewWriter(h)
+	h := borrowDigestWriter()
+	w := wire.NewDirectWriter(h)
 	encodeMapCanonical(w, m)
 	if err := w.Flush(); err != nil {
 		// digestWriter never fails.
 		panic(err)
 	}
-	return h.sum()
+	return h.sumAndReturn()
 }
 
 // Restore replaces the store contents with a stream produced by Serialize.
@@ -404,14 +409,21 @@ func (s *Store) Clone() *Store {
 
 // digestWriter hashes the serialization stream without materializing it.
 type digestWriter struct {
-	h interface {
-		io.Writer
-		Sum([]byte) []byte
-	}
+	h hash.Hash
 }
 
 func newDigestWriter() *digestWriter {
 	return &digestWriter{h: hashsig.NewHasher()}
+}
+
+// digestWriterPool recycles digestWriters (and their SHA-256 states): shard
+// digest recomputation borrows one per dirty shard at every checkpoint.
+var digestWriterPool = sync.Pool{New: func() any { return newDigestWriter() }}
+
+func borrowDigestWriter() *digestWriter {
+	d := digestWriterPool.Get().(*digestWriter)
+	d.h.Reset()
+	return d
 }
 
 func (d *digestWriter) Write(p []byte) (int, error) { return d.h.Write(p) }
@@ -419,5 +431,13 @@ func (d *digestWriter) Write(p []byte) (int, error) { return d.h.Write(p) }
 func (d *digestWriter) sum() hashsig.Digest {
 	var out hashsig.Digest
 	d.h.Sum(out[:0])
+	return out
+}
+
+// sumAndReturn finalizes the digest and returns the writer to the pool; the
+// caller must not use d afterwards.
+func (d *digestWriter) sumAndReturn() hashsig.Digest {
+	out := d.sum()
+	digestWriterPool.Put(d)
 	return out
 }

@@ -301,14 +301,16 @@ func (s *ShardedStore) FullRescanDigest() hashsig.Digest {
 // never alias: d_C commits to the execution configuration the header's
 // shard-count field declares.
 func combineShardDigests(digests []hashsig.Digest) hashsig.Digest {
-	h := hashsig.NewHasher()
+	h := hashsig.BorrowHasher()
 	h.Write(ckptDomain)
-	h.Write(wire.AppendUint32(nil, uint32(len(digests))))
+	var n [4]byte
+	h.Write(wire.AppendUint32(n[:0], uint32(len(digests))))
 	for i := range digests {
 		h.Write(digests[i][:])
 	}
 	var out hashsig.Digest
 	h.Sum(out[:0])
+	hashsig.ReturnHasher(h)
 	return out
 }
 

@@ -1,7 +1,6 @@
 package ledger
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -64,9 +63,11 @@ func EncodeOps(ops []Op) []byte {
 // their own App.
 type KVApp struct{}
 
-// Execute applies the request's operations to the transaction.
+// Execute applies the request's operations to the transaction. Values are
+// decoded as views into the request buffer (no copy): they flow only into
+// tx.Put, which copies, and the request outlives the call.
 func (KVApp) Execute(tx *kv.Tx, request []byte) error {
-	r := wire.NewReader(bytes.NewReader(request))
+	r := wire.NewBytesReader(request)
 	n := r.Uint32()
 	const maxOps = 1 << 16
 	if r.Err() == nil && n > maxOps {
@@ -83,7 +84,7 @@ func (KVApp) Execute(tx *kv.Tx, request []byte) error {
 		case 0x00:
 			ops = append(ops, op{key: r.String(wire.MaxKeyLen), del: true})
 		case 0x01:
-			ops = append(ops, op{key: r.String(wire.MaxKeyLen), val: r.Bytes(wire.MaxValueLen)})
+			ops = append(ops, op{key: r.String(wire.MaxKeyLen), val: r.BytesView(wire.MaxValueLen)})
 		default:
 			if r.Err() == nil {
 				return fmt.Errorf("%w: op tag %d", ErrBadRequest, tag)
@@ -111,7 +112,7 @@ func (KVApp) Execute(tx *kv.Tx, request []byte) error {
 // Put/Delete — so its footprint is known and empty, and it parallelizes
 // with everything.
 func (KVApp) Footprint(request []byte) ([]string, bool) {
-	r := wire.NewReader(bytes.NewReader(request))
+	r := wire.NewBytesReader(request)
 	n := r.Uint32()
 	const maxOps = 1 << 16
 	if r.Err() == nil && n > maxOps {
@@ -124,7 +125,7 @@ func (KVApp) Footprint(request []byte) ([]string, bool) {
 			keys = append(keys, r.String(wire.MaxKeyLen))
 		case 0x01:
 			keys = append(keys, r.String(wire.MaxKeyLen))
-			r.Bytes(wire.MaxValueLen)
+			r.BytesView(wire.MaxValueLen)
 		default:
 			if r.Err() == nil {
 				return nil, true

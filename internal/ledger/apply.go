@@ -30,7 +30,8 @@ func CheckBatchShape(b *Batch) error {
 		return fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrBadBatch, h.Seq, got, h.GSize)
 	}
 	digests := make([]hashsig.Digest, len(b.Entries))
-	hasher := newEntryHasher(digests, len(b.Entries))
+	leaves := make([]hashsig.Digest, len(b.Entries))
+	hasher := newEntryHasher(digests, leaves, len(b.Entries))
 	for ei := range b.Entries {
 		hasher.submit(ei, &b.Entries[ei])
 	}
@@ -38,7 +39,7 @@ func CheckBatchShape(b *Batch) error {
 	perShard := make([][]hashsig.Digest, h.Shards)
 	for ei := range b.Entries {
 		s := entryShard(&b.Entries[ei], h.Shards)
-		perShard[s] = append(perShard[s], digests[ei])
+		perShard[s] = append(perShard[s], leaves[ei])
 	}
 	if _, gRoot := buildShardRoots(perShard); gRoot != h.GRoot {
 		return fmt.Errorf("%w: batch %d: batch root mismatch", ErrBadBatch, h.Seq)
@@ -99,11 +100,13 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	// Entry digesting overlaps re-execution, mirroring ExecuteBatch's
 	// pipeline. Unlike the executor, every entry is final on arrival —
 	// re-execution compares results, it never sets them — so all entries are
-	// submitted up front and hash while transactions re-run. Digests are
-	// only read after hasher.wait(); the deferred wait releases the workers
-	// on every reject path.
-	digests := make([]hashsig.Digest, len(b.Entries))
-	hasher := newEntryHasher(digests, len(b.Entries))
+	// submitted up front and hash while transactions re-run. Digests and
+	// leaf hashes land in the ledger's batch-to-batch scratch and are only
+	// read after hasher.wait(); the deferred wait releases the workers on
+	// every reject path (and before any later call reuses the scratch).
+	l.scratch.grow(len(b.Entries), l.cfg.Shards)
+	digests, leaves := l.scratch.digests[:len(b.Entries)], l.scratch.leaves[:len(b.Entries)]
+	hasher := newEntryHasher(digests, leaves, len(b.Entries))
 	defer hasher.wait()
 	for ei := range b.Entries {
 		hasher.submit(ei, &b.Entries[ei])
@@ -167,11 +170,12 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	hasher.wait()
 
 	// Rebuild the per-shard batch trees G_s under the local partition and
-	// combine their roots; the proposer's ¯G must reproduce exactly.
-	perShard := make([][]hashsig.Digest, l.cfg.Shards)
+	// combine their roots; the proposer's ¯G must reproduce exactly. The
+	// trees consume the pipeline's leaf hashes directly.
+	perShard := l.scratch.perShard
 	for ei := range b.Entries {
 		s := entryShard(&b.Entries[ei], l.cfg.Shards)
-		perShard[s] = append(perShard[s], digests[ei])
+		perShard[s] = append(perShard[s], leaves[ei])
 	}
 	if got := uint64(len(b.Entries)); got != h.GSize {
 		return reject(fmt.Errorf("%w: batch %d: %d entries, header claims %d", ErrApply, seq, got, h.GSize))
@@ -179,8 +183,8 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	if _, gRoot := buildShardRoots(perShard); gRoot != h.GRoot {
 		return reject(fmt.Errorf("%w: batch %d: batch root mismatch", ErrApply, seq))
 	}
-	for _, d := range digests {
-		l.hist.Append(d)
+	for _, lh := range leaves {
+		l.hist.AppendLeafHash(lh)
 	}
 	if got := l.hist.Size(); got != h.HistSize {
 		return reject(fmt.Errorf("%w: batch %d: history size %d, header claims %d", ErrApply, seq, got, h.HistSize))

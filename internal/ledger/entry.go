@@ -10,7 +10,6 @@
 package ledger
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -90,9 +89,15 @@ func (e *Entry) Encode(dst []byte) []byte {
 	return dst
 }
 
-// Digest returns the entry's leaf digest: what M and G commit to.
+// Digest returns the entry's leaf digest: what M and G commit to. The
+// encoding is assembled in pooled scratch — this runs once per entry per
+// replica on the commit path and must not allocate per call.
 func (e *Entry) Digest() hashsig.Digest {
-	return hashsig.Sum(e.Encode(append([]byte(nil), entryDomain...)))
+	b := wire.GetScratch(64 + len(e.Payload))
+	b = e.Encode(append(b, entryDomain...))
+	d := hashsig.Sum(b)
+	wire.PutScratch(b)
+	return d
 }
 
 // encodeTo streams the entry through a wire.Writer (batch serialization).
@@ -120,7 +125,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: empty", ErrBadEntry)
 	}
 	e := Entry{Kind: Kind(b[0])}
-	r := wire.NewReader(bytes.NewReader(b[1:]))
+	r := wire.NewBytesReader(b[1:])
 	switch e.Kind {
 	case KindTransaction:
 		e.Author = r.Digest()

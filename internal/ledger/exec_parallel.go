@@ -206,8 +206,8 @@ func (r *waveRunner) close() {
 // drains the hasher — entries submitted before the violation surfaced may
 // carry results a sequential execution would not produce, so the caller
 // must hash everything again from scratch.
-func (l *Ledger) runParallel(f Footprinter, seq uint64, reqs []Request, entries []Entry, digests []hashsig.Digest) (txIdx []int, ok bool) {
-	hasher := newEntryHasher(digests, cap(entries))
+func (l *Ledger) runParallel(f Footprinter, seq uint64, reqs []Request, entries []Entry, digests, leaves []hashsig.Digest) (txIdx []int, ok bool) {
+	hasher := newEntryHasher(digests, leaves, cap(entries))
 	defer hasher.wait()
 	txIdx, ok = l.executeBatchParallel(f, reqs, entries, hasher)
 	if !ok {

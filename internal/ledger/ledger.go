@@ -1,7 +1,34 @@
+// Package ledger implements the IA-CCF replicated ledger: batches of
+// client requests executed against the sharded key-value store, committed
+// to a history tree M and per-shard batch trees G_s whose roots roll up
+// into the signed combined root ¯G, with offline-verifiable receipts and
+// periodic checkpoint digests d_C (paper §3, §6). ExecuteBatch is the
+// proposer path, ApplyBatch the backup path; both run a conflict-aware
+// parallel executor that must stay byte-identical to the sequential core.
+//
+// # Memory ownership on the commit path
+//
+// The commit path recycles memory aggressively (see internal/pool), so
+// every API boundary follows explicit ownership rules:
+//
+//   - Everything ExecuteBatch and ApplyBatch RETURN is caller-owned
+//     forever: Batch headers, entries, and Receipts never alias pooled
+//     scratch, and the ledger never writes to them after returning.
+//     Receipts from one call share arena backing with each other (paths
+//     in one []Digest arena, payloads in one []byte arena) — safe because
+//     the arenas are capped three-index sub-slices that a client append
+//     cannot grow into a neighbour — but never with any pool.
+//   - Request slices passed IN are read-only during the call and not
+//     retained. Entries inside a Batch handed to ApplyBatch are adopted
+//     into the retained stream and must not be mutated afterwards, same
+//     as Batches() results.
+//   - Internal scratch (per-entry digests, leaf hashes, per-shard
+//     grouping tables) lives on the Ledger and is reused batch to batch;
+//     it is dead the moment the call returns, which the aliasing property
+//     tests prove by poisoning pools between batches (pool.SetPoison).
 package ledger
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -78,16 +105,17 @@ func (h *BatchHeader) readSignedFields(r *wire.Reader) {
 }
 
 // SigningDigest returns the digest the replica signs: every header field
-// except the signature, domain separated.
+// except the signature, domain separated. The preimage is assembled in
+// pooled scratch through the append-mode writer — this runs twice per batch
+// per replica (sign and verify) and must not allocate.
 func (h *BatchHeader) SigningDigest() hashsig.Digest {
-	var buf bytes.Buffer
-	w := wire.NewWriter(&buf)
+	b := wire.GetScratch(len(headerDomain) + 128)
+	w := wire.NewAppendWriter(append(b, headerDomain...))
 	h.writeSignedFields(w)
-	if err := w.Flush(); err != nil {
-		// Writing to a bytes.Buffer never fails.
-		panic(err)
-	}
-	return hashsig.SumMany(headerDomain, buf.Bytes())
+	b = w.AppendedBytes()
+	d := hashsig.Sum(b)
+	wire.PutScratch(b)
+	return d
 }
 
 // Verify reports whether the header carries a valid signature by pub.
@@ -197,6 +225,45 @@ type Ledger struct {
 	lastCkpt hashsig.Digest
 	marks    []ledgerMark
 	batches  []*Batch
+	scratch  execScratch
+}
+
+// execScratch is per-batch working storage handed batch to batch: the
+// digest and leaf-hash vectors plus the per-shard grouping tables. Nothing
+// stored here may escape ExecuteBatch/ApplyBatch — every value a caller
+// retains (entries, headers, receipt paths, payloads) is freshly allocated
+// or arena-backed per batch. The Ledger is single-writer, so reuse without
+// synchronization is safe; the concurrent entry hasher writes disjoint
+// indices and is joined before the slices are read or reused.
+type execScratch struct {
+	digests  []hashsig.Digest   // entry digests, one per entry
+	leaves   []hashsig.Digest   // merkle.LeafHash of each digest
+	shardOf  []uint32           // shard assignment per entry
+	leafPos  []uint64           // leaf index of each entry within its shard tree
+	perShard [][]hashsig.Digest // leaf hashes grouped by shard (inner slices reused)
+}
+
+// grow returns the scratch vectors sized for n entries and shards shard
+// groups, reusing prior capacity.
+func (s *execScratch) grow(n int, shards uint32) {
+	s.digests = growSlice(s.digests, n)
+	s.leaves = growSlice(s.leaves, n)
+	s.shardOf = growSlice(s.shardOf, n)
+	s.leafPos = growSlice(s.leafPos, n)
+	if cap(s.perShard) < int(shards) {
+		s.perShard = make([][]hashsig.Digest, shards)
+	}
+	s.perShard = s.perShard[:shards]
+	for i := range s.perShard {
+		s.perShard[i] = s.perShard[i][:0]
+	}
+}
+
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // ledgerMark pairs a kv mark with the history-tree size and checkpoint
@@ -320,17 +387,18 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	// out; the mark pushed above stays, so a caller that recovers can
 	// RollbackTo(seq) to discard the half-executed batch.
 	maxEntries := len(reqs) + 1 // every request plus at most one checkpoint marker
-	digests := make([]hashsig.Digest, maxEntries)
+	l.scratch.grow(maxEntries, l.cfg.Shards)
+	digests, leaves := l.scratch.digests, l.scratch.leaves
 	var entries []Entry
 	var txIdx []int
 	executed := false
 	if f, ok := l.parallelExec(len(reqs)); ok {
 		entries = make([]Entry, len(reqs), maxEntries)
-		txIdx, executed = l.runParallel(f, seq, reqs, entries, digests)
+		txIdx, executed = l.runParallel(f, seq, reqs, entries, digests, leaves)
 	}
 	if !executed {
 		entries = make([]Entry, 0, maxEntries)
-		entries, txIdx = l.runSequential(reqs, entries, digests)
+		entries, txIdx = l.runSequential(reqs, entries, digests, leaves)
 	}
 
 	if seq%l.cfg.CheckpointEvery == 0 {
@@ -339,24 +407,28 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 		d := l.store.CheckpointDigest()
 		entries = append(entries, Entry{Kind: KindCheckpoint, Seq: seq, State: d})
 		digests[len(entries)-1] = entries[len(entries)-1].Digest()
+		leaves[len(entries)-1] = merkle.LeafHash(digests[len(entries)-1])
 		l.lastCkpt = d
 	}
 
+	// Group the pre-computed leaf hashes by shard: both G_s and M consume
+	// them directly, so the roll-up below does no per-entry SHA work beyond
+	// the interior nodes.
 	shards := l.cfg.Shards
-	shardOf := make([]uint32, len(entries))
-	leafPos := make([]uint64, len(entries))
-	perShard := make([][]hashsig.Digest, shards)
+	shardOf := l.scratch.shardOf[:len(entries)]
+	leafPos := l.scratch.leafPos[:len(entries)]
+	perShard := l.scratch.perShard
 	for i := range entries {
 		s := entryShard(&entries[i], shards)
 		shardOf[i] = s
 		leafPos[i] = uint64(len(perShard[s]))
-		perShard[s] = append(perShard[s], digests[i])
+		perShard[s] = append(perShard[s], leaves[i])
 	}
 	shardRoots := make([]hashsig.Digest, shards)
 	shardPaths := make([][][]hashsig.Digest, shards)
 	forEachShard(int(shards), len(entries), func(s int) {
 		g := merkle.New()
-		_, root, paths, err := g.AppendAndProve(perShard[s])
+		_, root, paths, err := g.AppendAndProveLeafHashes(perShard[s])
 		if err != nil {
 			// A fresh tree over in-range leaves cannot fail.
 			panic(err)
@@ -369,8 +441,8 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	if err != nil {
 		panic(err)
 	}
-	for _, d := range digests[:len(entries)] {
-		l.hist.Append(d)
+	for _, lh := range leaves[:len(entries)] {
+		l.hist.AppendLeafHash(lh)
 	}
 
 	header := BatchHeader{
@@ -389,21 +461,38 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 
 	batch := &Batch{Header: header, Entries: entries}
 	receipts := make([]Receipt, len(txIdx))
+	// Two arenas back every receipt in the batch: one for the combined
+	// shard+top audit paths, one for the defensive payload copies (a client
+	// mutating its receipt must not corrupt the ledger's retained stream).
+	// Each receipt gets a three-index sub-slice whose capacity ends at its
+	// own region, so appending to one receipt's path or payload reallocates
+	// instead of stomping the next receipt's. The per-shard top path is
+	// copied from the single slice the top tree produced — same-shard
+	// receipts no longer each build their own intermediate path slice.
+	pathTotal, payloadTotal := 0, 0
+	for _, idx := range txIdx {
+		s := shardOf[idx]
+		pathTotal += len(shardPaths[s][leafPos[idx]]) + len(topPaths[s])
+		payloadTotal += len(entries[idx].Payload)
+	}
+	pathArena := make([]hashsig.Digest, 0, pathTotal)
+	payloadArena := make([]byte, 0, payloadTotal)
 	for i, idx := range txIdx {
 		e := entries[idx]
-		// The payload slice is otherwise shared with the retained batch: a
-		// client mutating its receipt must not corrupt the ledger's stream.
-		e.Payload = append([]byte(nil), e.Payload...)
+		pStart := len(payloadArena)
+		payloadArena = append(payloadArena, e.Payload...)
+		e.Payload = payloadArena[pStart:len(payloadArena):len(payloadArena)]
 		s := shardOf[idx]
-		path := append([]hashsig.Digest(nil), shardPaths[s][leafPos[idx]]...)
-		path = append(path, topPaths[s]...)
+		aStart := len(pathArena)
+		pathArena = append(pathArena, shardPaths[s][leafPos[idx]]...)
+		pathArena = append(pathArena, topPaths[s]...)
 		receipts[i] = Receipt{
 			Header:    header,
 			Entry:     e,
 			Shard:     s,
 			Index:     leafPos[idx],
 			ShardSize: uint64(len(perShard[s])),
-			Path:      path,
+			Path:      pathArena[aStart:len(pathArena):len(pathArena)],
 		}
 	}
 	sig := sigf.MustWait()
@@ -421,12 +510,12 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 // hasher. It is both the single-core fast path and the fallback that
 // re-executes a batch whose speculative parallel run was abandoned; its
 // behaviour defines what the parallel core must reproduce byte-for-byte.
-func (l *Ledger) runSequential(reqs []Request, entries []Entry, digests []hashsig.Digest) ([]Entry, []int) {
+func (l *Ledger) runSequential(reqs []Request, entries []Entry, digests, leaves []hashsig.Digest) ([]Entry, []int) {
 	// Stage 2 (hashing) consumes completed entries concurrently with stage 1
 	// (execution). Entry digesting hashes full payloads — for large batches
 	// this is comparable to execution itself, and the two overlap here. The
 	// deferred wait releases the workers even if the App panics.
-	hasher := newEntryHasher(digests, cap(entries))
+	hasher := newEntryHasher(digests, leaves, cap(entries))
 	defer hasher.wait()
 	emit := func() {
 		i := len(entries) - 1

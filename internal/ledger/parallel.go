@@ -21,8 +21,10 @@ func forEachShard(shards, leaves int, fn func(s int)) {
 const minParallelShardLeaves = 256
 
 // buildShardRoots constructs the per-shard batch trees G_s over the grouped
-// entry digests and combines their roots into ¯G, in parallel across shards
-// when worthwhile. It is the shared roll-up of ApplyBatch and
+// pre-hashed leaves (merkle.LeafHash over the entry digests — the entry
+// hasher computes them alongside the digests, so no second SHA pass per
+// entry happens here) and combines their roots into ¯G, in parallel across
+// shards when worthwhile. It is the shared roll-up of ApplyBatch and
 // CheckBatchShape, which need only the roots; ExecuteBatch keeps its own
 // path-producing variant.
 func buildShardRoots(perShard [][]hashsig.Digest) (shardRoots []hashsig.Digest, gRoot hashsig.Digest) {
@@ -33,8 +35,8 @@ func buildShardRoots(perShard [][]hashsig.Digest) (shardRoots []hashsig.Digest, 
 	}
 	forEachShard(len(perShard), leaves, func(s int) {
 		g := merkle.New()
-		for _, d := range perShard[s] {
-			g.Append(d)
+		for _, lh := range perShard[s] {
+			g.AppendLeafHash(lh)
 		}
 		shardRoots[s] = g.Root()
 	})
@@ -45,13 +47,20 @@ func buildShardRoots(perShard [][]hashsig.Digest) (shardRoots []hashsig.Digest, 
 	return shardRoots, top.Root()
 }
 
-// entryHasher computes entry digests concurrently with the execution loop
-// that produces the entries. On a single-CPU process (or a tiny batch) it
-// degrades to hashing inline at submit time — the pipeline would only add
-// channel traffic. Digests land in the caller's slice at the submitted
-// index; the caller must wait() before reading any of them.
+// entryHasher computes entry digests — and their merkle leaf hashes —
+// concurrently with the execution loop that produces the entries. On a
+// single-CPU process (or a tiny batch) it degrades to hashing inline at
+// submit time — the pipeline would only add channel traffic. Digests land
+// in the caller's digests slice at the submitted index, leaf hashes in the
+// leaves slice; the caller must wait() before reading any of them.
+//
+// Leaf hashes are computed here because both trees need the same value:
+// the history tree M and the per-shard batch tree G_s each commit to
+// LeafHash(Digest(entry)). Hashing it once in the pipeline removes two
+// serial SHA passes per entry from the roll-up stage.
 type entryHasher struct {
 	digests []hashsig.Digest
+	leaves  []hashsig.Digest
 	jobs    chan hashJob
 	wg      sync.WaitGroup
 	inline  bool
@@ -67,8 +76,9 @@ type hashJob struct {
 }
 
 // newEntryHasher sizes the hashing stage for up to maxEntries entries.
-func newEntryHasher(digests []hashsig.Digest, maxEntries int) *entryHasher {
-	h := &entryHasher{digests: digests}
+// leaves may be nil when the caller needs only entry digests.
+func newEntryHasher(digests, leaves []hashsig.Digest, maxEntries int) *entryHasher {
+	h := &entryHasher{digests: digests, leaves: leaves}
 	workers := runtime.GOMAXPROCS(0) - 1
 	if workers > maxHashWorkers {
 		workers = maxHashWorkers
@@ -83,17 +93,26 @@ func newEntryHasher(digests []hashsig.Digest, maxEntries int) *entryHasher {
 		go func() {
 			defer h.wg.Done()
 			for j := range h.jobs {
-				h.digests[j.idx] = j.e.Digest()
+				h.hash(j.idx, j.e)
 			}
 		}()
 	}
 	return h
 }
 
+// hash computes the digest (and leaf hash) of one entry into slot idx.
+func (h *entryHasher) hash(idx int, e *Entry) {
+	d := e.Digest()
+	h.digests[idx] = d
+	if h.leaves != nil {
+		h.leaves[idx] = merkle.LeafHash(d)
+	}
+}
+
 // submit hands entry e (stored at idx) to the hashing stage.
 func (h *entryHasher) submit(idx int, e *Entry) {
 	if h.inline {
-		h.digests[idx] = e.Digest()
+		h.hash(idx, e)
 		return
 	}
 	h.jobs <- hashJob{idx: idx, e: e}

@@ -31,21 +31,30 @@ var (
 	ErrCompacted = errors.New("merkle: leaves compacted away")
 )
 
-var (
-	leafPrefix     = []byte{0x00}
-	internalPrefix = []byte{0x01}
+const (
+	leafPrefix     = 0x00
+	internalPrefix = 0x01
 )
 
 // EmptyRoot is the root of a tree with no leaves.
 func EmptyRoot() hashsig.Digest { return hashsig.Sum(nil) }
 
-// LeafHash computes the domain-separated hash of a leaf entry digest.
+// LeafHash computes the domain-separated hash of a leaf entry digest. The
+// preimage is assembled in a stack array: leaf hashing runs once per ledger
+// entry per tree and must not allocate.
 func LeafHash(entry hashsig.Digest) hashsig.Digest {
-	return hashsig.SumMany(leafPrefix, entry[:])
+	var b [1 + hashsig.DigestSize]byte
+	b[0] = leafPrefix
+	copy(b[1:], entry[:])
+	return hashsig.Sum(b[:])
 }
 
 func nodeHash(left, right hashsig.Digest) hashsig.Digest {
-	return hashsig.SumMany(internalPrefix, left[:], right[:])
+	var b [1 + 2*hashsig.DigestSize]byte
+	b[0] = internalPrefix
+	copy(b[1:], left[:])
+	copy(b[1+hashsig.DigestSize:], right[:])
+	return hashsig.Sum(b[:])
 }
 
 // peak is a perfect subtree on the frontier.

@@ -2,9 +2,23 @@ package merkle
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"iaccf/internal/hashsig"
+	"iaccf/internal/par"
+	"iaccf/internal/pool"
 )
+
+// minParallelProofLeaves gates both parallel fan-outs in this file: leaf
+// hashing across the worker pool and the forked path-build recursion. Below
+// this many leaves one SHA-256 pass is cheaper than goroutine startup.
+const minParallelProofLeaves = 512
+
+// leafScratch recycles the leaf-hash staging slice used by AppendAndProve.
+// AppendLeafHash copies each digest into the tree, so the scratch never
+// escapes the call.
+var leafScratch pool.Slice[hashsig.Digest]
 
 // AppendAndProve appends the given entry digests and returns the index of
 // the first appended leaf, the root over the grown tree, and one audit path
@@ -13,17 +27,34 @@ import (
 // appending all of a batch's entries at once and handing the paths out in
 // client receipts (paper §3.1). Interior hashes are computed once and
 // shared across paths, instead of once per leaf as repeated Path calls
-// would.
+// would. Leaf hashes for large batches are computed in parallel; see
+// PathsAt for the ownership of the returned paths.
 func (t *Tree) AppendAndProve(entries []hashsig.Digest) (uint64, hashsig.Digest, [][]hashsig.Digest, error) {
+	scratch := leafScratch.Get(len(entries))
+	leaves := scratch[:len(entries)]
+	par.ForEach(len(entries), len(entries), minParallelProofLeaves, func(i int) {
+		leaves[i] = LeafHash(entries[i])
+	})
+	first, root, paths, err := t.AppendAndProveLeafHashes(leaves)
+	leafScratch.Put(scratch)
+	return first, root, paths, err
+}
+
+// AppendAndProveLeafHashes is AppendAndProve for pre-hashed (domain
+// separated) leaves. The ledger uses it to reuse leaf hashes that its entry
+// hasher already computed for the history tree, instead of hashing every
+// entry a second time per batch tree. The tree copies each leaf hash; the
+// caller keeps ownership of the slice.
+func (t *Tree) AppendAndProveLeafHashes(leaves []hashsig.Digest) (uint64, hashsig.Digest, [][]hashsig.Digest, error) {
 	first := t.Size()
-	for _, e := range entries {
-		t.Append(e)
+	for _, l := range leaves {
+		t.AppendLeafHash(l)
 	}
 	if t.Size() == 0 {
 		return first, EmptyRoot(), nil, nil
 	}
 	root := t.Root()
-	if len(entries) == 0 {
+	if len(leaves) == 0 {
 		return first, root, nil, nil
 	}
 	paths, err := t.PathsAt(first, t.Size())
@@ -37,6 +68,14 @@ func (t *Tree) AppendAndProve(entries []hashsig.Digest) (uint64, hashsig.Digest,
 // prefix tree of n leaves. It shares interior hash computations across the
 // returned paths: one O(n) traversal instead of one O(n) traversal per
 // leaf. Requires Base() <= from < n <= Size().
+//
+// All returned paths sub-slice a single backing arena allocated by this
+// call — one allocation for the whole batch instead of O(log n) appends per
+// leaf. Each path is a three-index sub-slice with capacity equal to its
+// length, so a caller that appends to a returned path (as the ledger does
+// when joining a shard path to the top path in a receipt) forces a fresh
+// copy instead of overwriting a neighboring path's hashes. Callers own the
+// paths and may retain them indefinitely.
 func (t *Tree) PathsAt(from, n uint64) ([][]hashsig.Digest, error) {
 	if from >= n || n > t.Size() {
 		return nil, fmt.Errorf("%w: paths [%d,%d) (size %d)", ErrOutOfRange, from, n, t.Size())
@@ -44,11 +83,87 @@ func (t *Tree) PathsAt(from, n uint64) ([][]hashsig.Digest, error) {
 	if from < t.base {
 		return nil, fmt.Errorf("%w: paths from %d before base %d", ErrCompacted, from, t.base)
 	}
-	paths := make([][]hashsig.Digest, n-from)
-	if _, err := t.buildPaths(from, 0, n, paths); err != nil {
+	count := n - from
+	paths := make([][]hashsig.Digest, count)
+	lens := make([]uint32, count)
+	pathLens(from, 0, n, lens)
+	total := 0
+	for _, l := range lens {
+		total += int(l)
+	}
+	arena := make([]hashsig.Digest, total)
+	off := 0
+	for j, l := range lens {
+		end := off + int(l)
+		paths[j] = arena[off:off:end]
+		off = end
+	}
+	var err error
+	if runtime.GOMAXPROCS(0) > 1 && count >= minParallelProofLeaves {
+		_, err = t.buildPathsFork(from, 0, n, paths, runtime.GOMAXPROCS(0))
+	} else {
+		_, err = t.buildPaths(from, 0, n, paths)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return paths, nil
+}
+
+// pathLens computes, per target leaf, the number of sibling hashes its
+// audit path will receive. It mirrors the recursion shape of buildPaths:
+// every level whose range contains a target leaf and splits contributes
+// exactly one sibling to that leaf's path. The counts size the arena in
+// PathsAt, so they must stay in lockstep with buildPaths.
+func pathLens(from, a, b uint64, lens []uint32) {
+	if b <= from || b-a == 1 {
+		return
+	}
+	k := splitPoint(b - a)
+	pathLens(from, a, a+k, lens)
+	pathLens(from, a+k, b, lens)
+	for i := max(a, from); i < b; i++ {
+		lens[i-from]++
+	}
+}
+
+// buildPathsFork is buildPaths with the two half-range recursions run
+// concurrently while the remaining range is large enough to split
+// profitably. Safety: the two halves append to disjoint sets of paths
+// (targets in [a,a+k) vs [a+k,b)) backed by disjoint arena regions, the
+// tree itself is only read, and the parent's own sibling appends happen
+// after the join — so every write to a given path is sequenced along that
+// leaf's spine exactly as in the sequential recursion.
+func (t *Tree) buildPathsFork(from, a, b uint64, paths [][]hashsig.Digest, procs int) (hashsig.Digest, error) {
+	if procs <= 1 || b <= from || b-a < minParallelProofLeaves {
+		return t.buildPaths(from, a, b, paths)
+	}
+	k := splitPoint(b - a)
+	var (
+		right hashsig.Digest
+		rerr  error
+		wg    sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		right, rerr = t.buildPathsFork(from, a+k, b, paths, procs/2)
+	}()
+	left, lerr := t.buildPathsFork(from, a, a+k, paths, procs-procs/2)
+	wg.Wait()
+	if lerr != nil {
+		return hashsig.Digest{}, lerr
+	}
+	if rerr != nil {
+		return hashsig.Digest{}, rerr
+	}
+	for i := max(a, from); i < a+k; i++ {
+		paths[i-from] = append(paths[i-from], right)
+	}
+	for i := max(a+k, from); i < b; i++ {
+		paths[i-from] = append(paths[i-from], left)
+	}
+	return nodeHash(left, right), nil
 }
 
 // buildPaths computes the hash of [a, b) while extending, bottom-up, the

@@ -1,0 +1,146 @@
+// Package pool provides the typed, race-safe buffer pools used on the
+// IA-CCF commit critical path. The replicated execution pipeline commits
+// tens of thousands of entries per second; without reuse, every entry pays
+// for codec buffers, digest scratch, and proof slices that live for
+// microseconds, and the garbage collector becomes the next wall after raw
+// hashing (the same lesson CCF reports for production ledger nodes).
+//
+// # Ownership discipline
+//
+// Pooled memory is only safe if ownership is unambiguous. Every pool in
+// this package follows one rule:
+//
+//   - Get transfers ownership to the caller. The slice is the caller's
+//     until it calls Put.
+//   - Put transfers ownership back. After Put, the caller must not read,
+//     write, or retain the slice — and, critically, must not have leaked it
+//     into any value it returned to its own callers. Anything that escapes
+//     to a caller (a Batch, a Receipt, an encoded frame) must be freshly
+//     allocated or arena-backed, never pooled.
+//
+// Code that uses these pools documents, at its API boundary, which returned
+// slices a caller may retain. The poison mode below exists so tests can
+// prove those ownership comments true.
+//
+// # Poison mode
+//
+// SetPoison(true) makes every Put overwrite the returned slice with a
+// sentinel pattern before it re-enters the pool. A pooled buffer that is
+// still reachable from a caller-visible value then shows up as corrupted
+// data in the very next assertion, instead of as a once-a-week heisenbug.
+// The aliasing property tests run with poison enabled under -race: the race
+// detector catches concurrent reuse, poisoning catches sequential reuse.
+// Poison mode is for tests only; it turns every Put into an O(cap) write.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poisonByte is the sentinel pattern poison mode fills buffers with. 0xDB
+// ("dead buffer") is unlikely to round-trip through any codec unnoticed:
+// it is not valid UTF-8 as a leading byte and decodes to absurd lengths.
+const poisonByte = 0xDB
+
+var poison atomic.Bool
+
+// SetPoison toggles poison mode (see the package comment). It returns the
+// previous setting so tests can restore it.
+func SetPoison(on bool) bool { return poison.Swap(on) }
+
+// Poisoned reports whether poison mode is on.
+func Poisoned() bool { return poison.Load() }
+
+// Bytes is a race-safe pool of byte slices, for codec scratch: encode
+// buffers, signing preimages, digest input assembly. The zero value is
+// ready for use.
+//
+// sync.Pool stores interface values, so handing it a slice directly would
+// heap-allocate a *[]byte header on every Put — a pool that allocates per
+// recycle defeats itself. Instead the header cells themselves are recycled
+// through a second pool (hp): in steady state neither Get nor Put
+// allocates anything.
+type Bytes struct {
+	p  sync.Pool // *[]byte cells holding live backing arrays
+	hp sync.Pool // spare *[]byte cells, contents nil
+}
+
+// Get returns a zero-length slice with capacity at least capacity. The
+// caller owns it until Put.
+func (p *Bytes) Get(capacity int) []byte {
+	if h, _ := p.p.Get().(*[]byte); h != nil {
+		b := *h
+		*h = nil
+		p.hp.Put(h)
+		if cap(b) >= capacity {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capacity)
+}
+
+// Put returns b's backing array to the pool. The caller must hold the only
+// live reference: nothing it handed to its own callers may alias b.
+func (p *Bytes) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	if poison.Load() {
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = poisonByte
+		}
+	}
+	h, _ := p.hp.Get().(*[]byte)
+	if h == nil {
+		h = new([]byte)
+	}
+	*h = b[:0]
+	p.p.Put(h)
+}
+
+// Slice is a race-safe pool of []T, for typed scratch: digest vectors,
+// index slices, per-shard grouping tables. The zero value is ready for use.
+// Header cells are recycled exactly as in Bytes.
+type Slice[T any] struct {
+	p  sync.Pool // *[]T cells holding live backing arrays
+	hp sync.Pool // spare *[]T cells, contents nil
+}
+
+// Get returns a zero-length slice with capacity at least capacity. The
+// caller owns it until Put.
+func (p *Slice[T]) Get(capacity int) []T {
+	if h, _ := p.p.Get().(*[]T); h != nil {
+		s := *h
+		*h = nil
+		p.hp.Put(h)
+		if cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	return make([]T, 0, capacity)
+}
+
+// Put returns s's backing array to the pool under the same ownership rule
+// as Bytes.Put. In poison mode every element is overwritten with T's zero
+// value, so a digest or index that leaked into a returned structure reads
+// back as zero instead of as stale-but-plausible data.
+func (p *Slice[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	if poison.Load() {
+		var zero T
+		s = s[:cap(s)]
+		for i := range s {
+			s[i] = zero
+		}
+	}
+	h, _ := p.hp.Get().(*[]T)
+	if h == nil {
+		h = new([]T)
+	}
+	*h = s[:0]
+	p.p.Put(h)
+}

@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+)
+
+// digest stands in for hashsig.Digest; the pool tests cannot import hashsig
+// (it uses this package) without an import cycle.
+type digest [32]byte
+
+func TestBytesRoundTrip(t *testing.T) {
+	var p Bytes
+	b := p.Get(64)
+	if len(b) != 0 || cap(b) < 64 {
+		t.Fatalf("Get(64): len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	p.Put(b)
+	c := p.Get(16)
+	if len(c) != 0 {
+		t.Fatalf("reused buffer not zero-length: len=%d", len(c))
+	}
+}
+
+func TestBytesGetLargerThanPooled(t *testing.T) {
+	var p Bytes
+	p.Put(make([]byte, 0, 8))
+	b := p.Get(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("Get(1024) after small Put: cap=%d", cap(b))
+	}
+}
+
+func TestPoisonOverwritesBytes(t *testing.T) {
+	defer SetPoison(SetPoison(true))
+	var p Bytes
+	b := p.Get(8)
+	b = append(b, 0xAA, 0xBB)
+	retained := b // simulated ownership bug: retained across Put
+	p.Put(b)
+	if retained[0] != poisonByte || retained[1] != poisonByte {
+		t.Fatalf("poison mode left retained bytes readable: % x", retained[:2])
+	}
+}
+
+func TestPoisonOverwritesSlice(t *testing.T) {
+	defer SetPoison(SetPoison(true))
+	var p Slice[digest]
+	s := p.Get(4)
+	s = append(s, digest{0xAA})
+	retained := s
+	p.Put(s)
+	if retained[0] != (digest{}) {
+		t.Fatalf("poison mode left retained digest readable: %v", retained[0])
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	var p Slice[int]
+	s := p.Get(10)
+	s = append(s, 1, 2, 3)
+	p.Put(s)
+	s2 := p.Get(5)
+	if len(s2) != 0 || cap(s2) < 5 {
+		t.Fatalf("Get(5): len=%d cap=%d", len(s2), cap(s2))
+	}
+}
+
+func TestZeroCapPutIgnored(t *testing.T) {
+	var b Bytes
+	b.Put(nil) // must not panic or pool a useless entry
+	var s Slice[int]
+	s.Put(nil)
+}
+
+// TestConcurrentUse drives the pools from many goroutines under -race: the
+// sync.Pool inside must serialize hand-offs, and no two goroutines may ever
+// observe the same backing array concurrently.
+func TestConcurrentUse(t *testing.T) {
+	var p Bytes
+	var d Slice[digest]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := p.Get(128)
+				for j := 0; j < 32; j++ {
+					b = append(b, byte(g), byte(i), byte(j))
+				}
+				s := d.Get(8)
+				s = append(s, digest(sha256.Sum256(b)))
+				if s[0] == (digest{}) {
+					t.Error("digest of non-empty buffer is zero")
+				}
+				d.Put(s)
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"iaccf/internal/hashsig"
+	"iaccf/internal/pool"
 )
 
 // ErrCorrupt reports a malformed or hostile input stream.
@@ -125,10 +126,26 @@ func AppendDigest(dst []byte, d hashsig.Digest) []byte {
 	return append(dst, d[:]...)
 }
 
-// Writer streams wire-encoded fields to an io.Writer. The first error
-// sticks: subsequent writes are no-ops and Flush reports it.
+// Writer streams wire-encoded fields to a sink. The first error sticks:
+// subsequent writes are no-ops and Flush reports it. Three sinks exist,
+// chosen by constructor:
+//
+//   - NewWriter buffers onto an io.Writer through bufio — for real streams
+//     (files, sockets) where syscall batching matters.
+//   - NewDirectWriter writes straight to an io.Writer with no intermediate
+//     buffer — for in-memory sinks like hash states, where bufio would only
+//     add an allocation and a copy. It never fails between the underlying
+//     writer's own errors, and Flush is a no-op check.
+//   - NewAppendWriter appends to a caller-provided byte slice — for
+//     building signing preimages and message frames in memory, typically on
+//     pooled scratch. AppendedBytes returns the accumulated encoding; the
+//     backing array is still the caller's (the Writer retains nothing after
+//     AppendedBytes, so the caller may pool it).
 type Writer struct {
 	bw  *bufio.Writer
+	out io.Writer // direct mode sink (nil otherwise)
+	buf []byte    // append mode storage (nil unless append mode)
+	app bool      // append mode flag (buf may legitimately be nil/empty)
 	err error
 }
 
@@ -137,11 +154,36 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriter(w)}
 }
 
+// NewDirectWriter returns a Writer that writes to w without buffering.
+// Intended for in-memory sinks (hash states): every field write goes
+// straight through, so there is no bufio allocation per encode.
+func NewDirectWriter(w io.Writer) *Writer {
+	return &Writer{out: w}
+}
+
+// NewAppendWriter returns a Writer that appends to buf (which may be nil).
+// Call AppendedBytes to retrieve the result. Writing never fails.
+func NewAppendWriter(buf []byte) *Writer {
+	return &Writer{buf: buf, app: true}
+}
+
+// AppendedBytes returns everything written so far in append mode. The
+// returned slice is the accumulated buffer itself; ownership stays with the
+// caller of NewAppendWriter.
+func (w *Writer) AppendedBytes() []byte { return w.buf }
+
 func (w *Writer) write(p []byte) {
 	if w.err != nil {
 		return
 	}
-	_, w.err = w.bw.Write(p)
+	switch {
+	case w.app:
+		w.buf = append(w.buf, p...)
+	case w.out != nil:
+		_, w.err = w.out.Write(p)
+	default:
+		_, w.err = w.bw.Write(p)
+	}
 }
 
 // Uint32 writes v big-endian.
@@ -170,7 +212,14 @@ func (w *Writer) String(s string) {
 	if w.err != nil {
 		return
 	}
-	_, w.err = w.bw.WriteString(s)
+	switch {
+	case w.app:
+		w.buf = append(w.buf, s...)
+	case w.out != nil:
+		_, w.err = io.WriteString(w.out, s)
+	default:
+		_, w.err = w.bw.WriteString(s)
+	}
 }
 
 // Digest writes the raw digest bytes.
@@ -187,19 +236,31 @@ func (w *Writer) Nonce(n hashsig.Nonce) {
 // Err returns the first error encountered.
 func (w *Writer) Err() error { return w.err }
 
-// Flush drains the buffer and returns the first error encountered.
+// Flush drains the buffer and returns the first error encountered. In
+// append and direct modes there is no buffer to drain; Flush just reports
+// the sticky error.
 func (w *Writer) Flush() error {
-	if w.err != nil {
+	if w.err != nil || w.bw == nil {
 		return w.err
 	}
 	return w.bw.Flush()
 }
 
-// Reader streams wire-encoded fields from an io.Reader. The first error
-// sticks: subsequent reads return zero values and Err reports it.
+// Reader streams wire-encoded fields from a source. The first error
+// sticks: subsequent reads return zero values and Err reports it. Two
+// sources exist:
+//
+//   - NewReader buffers from an io.Reader — for real streams.
+//   - NewBytesReader decodes directly from a byte slice with no bufio
+//     buffer and no copy per field read. Decoding entries, requests, and
+//     consensus frames — all already fully in memory — through NewReader
+//     used to be the single largest allocation source on the commit path
+//     (one 4KB bufio buffer per decode).
 type Reader struct {
-	br  *bufio.Reader
-	err error
+	br   *bufio.Reader
+	data []byte // bytes mode source (nil unless bytes mode)
+	pos  int    // bytes mode cursor
+	err  error
 }
 
 // NewReader returns a Reader buffering from r.
@@ -207,9 +268,39 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReader(r)}
 }
 
+// NewBytesReader returns a Reader decoding directly from b. The Reader
+// never mutates b; the caller must not mutate it while decoding. Fields
+// returned by Bytes/String are copies, so decoded values outlive b — only
+// BytesView hands out aliases.
+func NewBytesReader(b []byte) *Reader {
+	return &Reader{data: b}
+}
+
+// take returns the next n bytes of a bytes-mode reader without copying.
+func (r *Reader) take(n int) ([]byte, bool) {
+	if r.err != nil {
+		return nil, false
+	}
+	if len(r.data)-r.pos < n {
+		r.err = fmt.Errorf("%w: unexpected EOF", ErrCorrupt)
+		return nil, false
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, true
+}
+
 func (r *Reader) read(p []byte) bool {
 	if r.err != nil {
 		return false
+	}
+	if r.br == nil {
+		b, ok := r.take(len(p))
+		if !ok {
+			return false
+		}
+		copy(p, b)
+		return true
 	}
 	if _, err := io.ReadFull(r.br, p); err != nil {
 		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -245,7 +336,8 @@ func (r *Reader) Uint64() uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
-// Bytes reads a length-prefixed byte string of at most max bytes.
+// Bytes reads a length-prefixed byte string of at most max bytes. The
+// result is freshly allocated and owned by the caller, in every mode.
 func (r *Reader) Bytes(max uint32) []byte {
 	n := r.Uint32()
 	if r.err != nil {
@@ -262,9 +354,34 @@ func (r *Reader) Bytes(max uint32) []byte {
 	return b
 }
 
-// String reads a length-prefixed string of at most max bytes.
+// BytesView reads a length-prefixed byte string of at most max bytes and,
+// in bytes mode, returns a view aliasing the input slice — zero copies,
+// zero allocations. The view is only valid while the input slice is; a
+// caller that retains the data beyond that must copy it. In stream mode it
+// falls back to Bytes (an owned copy), so callers need no mode check.
+func (r *Reader) BytesView(max uint32) []byte {
+	if r.br != nil {
+		return r.Bytes(max)
+	}
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if n > max {
+		r.err = fmt.Errorf("%w: field length %d exceeds limit %d", ErrCorrupt, n, max)
+		return nil
+	}
+	b, ok := r.take(int(n))
+	if !ok {
+		return nil
+	}
+	return b
+}
+
+// String reads a length-prefixed string of at most max bytes. The string
+// conversion copies, so BytesView is safe as the source in bytes mode.
 func (r *Reader) String(max uint32) string {
-	return string(r.Bytes(max))
+	return string(r.BytesView(max))
 }
 
 // Digest reads raw digest bytes.
@@ -291,6 +408,12 @@ func (r *Reader) ExpectEOF() {
 	if r.err != nil {
 		return
 	}
+	if r.br == nil {
+		if r.pos != len(r.data) {
+			r.err = fmt.Errorf("%w: trailing data", ErrCorrupt)
+		}
+		return
+	}
 	if _, err := r.br.ReadByte(); err == nil {
 		r.err = fmt.Errorf("%w: trailing data", ErrCorrupt)
 	} else if err != io.EOF {
@@ -306,3 +429,19 @@ func (r *Reader) Fail(err error) {
 		r.err = err
 	}
 }
+
+// scratch is the shared pool behind GetScratch/PutScratch: encode buffers
+// for signing preimages, entry encodings, and message frames assembled in
+// memory on the commit critical path.
+var scratch pool.Bytes
+
+// GetScratch returns a pooled zero-length buffer with at least the given
+// capacity, for building an encoding in memory (typically through
+// NewAppendWriter or the Append* functions). Ownership rule: the buffer is
+// the caller's until PutScratch; nothing the caller returns or retains may
+// alias it — hash it, copy it out, then release it.
+func GetScratch(capacity int) []byte { return scratch.Get(capacity) }
+
+// PutScratch returns a buffer obtained from GetScratch to the pool. After
+// the call the slice (and anything aliasing its backing array) is dead.
+func PutScratch(b []byte) { scratch.Put(b) }
