@@ -148,6 +148,15 @@ func main() {
 		failed = true
 		fmt.Printf("FAIL: "+format+"\n", args...)
 	}
+	// fail prints exactly one grep-able line per gate violation — fixed
+	// key=value fields first (gate, bench, metric, baseline, current), any
+	// gate-specific context after — so CI logs answer "which gate, which
+	// benchmark, which numbers" with a single `grep '^FAIL gate='`.
+	fail := func(gate, bench, metric string, baseline, current float64, detail string) {
+		failed = true
+		fmt.Printf("FAIL gate=%s bench=%s metric=%s baseline=%.0f current=%.0f %s\n",
+			gate, bench, metric, baseline, current, detail)
+	}
 
 	if *baselinePath != "" {
 		baseline, err := parseFile(*baselinePath)
@@ -187,8 +196,8 @@ func main() {
 					ratio := cv/bv - 1
 					status := "ok"
 					if ratio > *tolerance {
-						report("%s: %s regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
-							name, unit, ratio*100, bv, cv, *tolerance*100)
+						fail("watch", name, unit, bv, cv,
+							fmt.Sprintf("regressed=%.1f%% tolerance=%.0f%%", ratio*100, *tolerance*100))
 						status = "REGRESSED"
 					}
 					fmt.Printf("%-60s %-9s %12.0f -> %12.0f  (%+.1f%%) %s\n",
@@ -232,8 +241,8 @@ func main() {
 		// compute-bound equals, so the gate guards against the window
 		// costing throughput rather than demanding parallel hardware.
 		if av < bv*(1-*tolerance) {
-			report("%s %s %.0f fell more than %.0f%% below %s %.0f",
-				parts[0], metric, av, *tolerance*100, parts[1], bv)
+			fail("faster", parts[0], metric, bv, av,
+				fmt.Sprintf("vs=%s tolerance=%.0f%%", parts[1], *tolerance*100))
 			continue
 		}
 		fmt.Printf("%-60s %s %12.0f vs %-40s %12.0f ok\n", parts[0], metric, av, parts[1], bv)
@@ -266,8 +275,8 @@ func main() {
 			continue
 		}
 		if av < factor*bv*(1-*tolerance) {
-			report("%s %s %.0f is only %.2fx %s (%.0f), want >= %.2fx minus %.0f%% tolerance",
-				parts[0], metric, av, av/bv, parts[1], bv, factor, *tolerance*100)
+			fail("scale", parts[0], metric, factor*bv, av,
+				fmt.Sprintf("vs=%s actual=%.2fx want=%.2fx tolerance=%.0f%%", parts[1], av/bv, factor, *tolerance*100))
 			continue
 		}
 		fmt.Printf("%-60s %s %12.0f is %.2fx %-40s %12.0f ok\n", parts[0], metric, av, av/bv, parts[1], bv)

@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over fixture packages under its
+// testdata directory and diffs the diagnostics against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest with the standard
+// library only.
+//
+// A fixture lives at testdata/src/<importPath>/ relative to the analyzer's
+// package directory, and is loaded *as* that import path — which matters
+// here, because the analyzers scope themselves by package path
+// (analysis.Deterministic, the detsource allowlist). Expectations are
+// line-anchored comments:
+//
+//	x.field = buf // want `stored into field`
+//
+// The quoted text (backquotes or double quotes) is a regexp matched
+// against diagnostics reported on that line; several expectations may
+// share one comment. Lines with diagnostics but no matching want, and
+// wants with no diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"iaccf/internal/analysis"
+	"iaccf/internal/analysis/load"
+)
+
+// exports caches the import-path → export-data mapping for the whole
+// repo plus the std packages fixtures may import; `go list` is not cheap
+// enough to rerun per test.
+var (
+	exportsCache map[string]string
+	exportsErr   error
+	exportsOnce  = make(chan struct{}, 1)
+	exportsDone  bool
+)
+
+// stdRoots are std packages fixtures may import beyond what the module
+// itself depends on. Extending a fixture with a new std import means
+// adding it here.
+var stdRoots = []string{
+	"time", "math/rand", "math/rand/v2", "crypto/rand",
+	"crypto/sha256", "crypto/sha512", "sort", "slices", "fmt", "bytes",
+}
+
+func exports() (map[string]string, error) {
+	exportsOnce <- struct{}{}
+	defer func() { <-exportsOnce }()
+	if exportsDone {
+		return exportsCache, exportsErr
+	}
+	exportsDone = true
+	_, file, _, _ := runtime.Caller(0)
+	root, err := load.RepoRoot(filepath.Dir(file))
+	if err != nil {
+		exportsErr = err
+		return nil, err
+	}
+	exportsCache, exportsErr = load.Exports(root, append([]string{"./..."}, stdRoots...)...)
+	return exportsCache, exportsErr
+}
+
+// Run loads each fixture package from testdata/src/<importPath> under the
+// caller's directory, applies the analyzer, and checks expectations.
+func Run(t *testing.T, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	exp, err := exports()
+	if err != nil {
+		t.Fatalf("analysistest: resolving export data: %v", err)
+	}
+	for _, ip := range importPaths {
+		dir := filepath.Join(filepath.Dir(callerFile), "testdata", "src", filepath.FromSlash(ip))
+		pkg, err := load.Dir(dir, ip, exp)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", ip, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s on %s: %v", a.Name, ip, err)
+			continue
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// want is one expectation: a regexp that must match a diagnostic on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// wantRE pulls the quoted regexps out of a `// want ...` comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func parseWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want"):], -1) {
+					lit := m[1]
+					if lit == "" {
+						lit = m[2]
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: lit})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fmtPos(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}
+
+func fmtPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(pos.Filename), pos.Line, pos.Column)
+}

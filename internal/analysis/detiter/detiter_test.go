@@ -1,0 +1,12 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"iaccf/internal/analysis/analysistest"
+	"iaccf/internal/analysis/detiter"
+)
+
+func TestDetIter(t *testing.T) {
+	analysistest.Run(t, detiter.Analyzer, "iaccf/internal/detiterfix")
+}

@@ -1,0 +1,86 @@
+// Fixture for the detiter analyzer: map-iteration order reaching an
+// order-sensitive sink (or escaping via an unsorted collect) fires; the
+// collect-then-sort idiom and ordered iteration stay silent.
+package detiterfix
+
+import (
+	"sort"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/wire"
+)
+
+// --- violations ---
+
+func hashInMapOrder(m map[string][]byte) hashsig.Digest {
+	var d hashsig.Digest
+	for _, v := range m {
+		d = hashsig.Sum(v) // want `map iteration order reaches hashsig\.Sum`
+	}
+	return d
+}
+
+func encodeInMapOrder(m map[string]uint64) []byte {
+	var b []byte
+	for k, v := range m {
+		b = wire.AppendString(b, k) // want `map iteration order reaches wire\.AppendString`
+		b = wire.AppendUint64(b, v) // want `map iteration order reaches wire\.AppendUint64`
+	}
+	return b
+}
+
+func writerInMapOrder(m map[string]uint64, w *wire.Writer) {
+	for _, v := range m {
+		w.Uint64(v) // want `map iteration order reaches wire\.Writer\.Uint64`
+	}
+}
+
+func keysEscapeUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `escapes the loop unsorted`
+	}
+	return keys
+}
+
+// --- sanctioned idioms (must not fire) ---
+
+// Collect-then-sort: the kv.WriteSetDigest / consensus sortedKeys pattern.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slice iteration is ordered; sinks inside it are fine.
+func hashSlice(items [][]byte) []hashsig.Digest {
+	out := make([]hashsig.Digest, 0, len(items))
+	for _, v := range items {
+		out = append(out, hashsig.Sum(v))
+	}
+	return out
+}
+
+// Order-insensitive aggregation over a map is fine.
+func countMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Appends into a loop-local scratch never observe map order outside the
+// iteration.
+func localScratch(m map[string][]byte) int {
+	total := 0
+	for _, v := range m {
+		var tmp []byte
+		tmp = append(tmp, v...)
+		total += len(tmp)
+	}
+	return total
+}

@@ -1,0 +1,17 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"iaccf/internal/analysis/analysistest"
+	"iaccf/internal/analysis/detsource"
+)
+
+func TestDetSource(t *testing.T) {
+	// The second fixture is loaded under the real hashsig import path to
+	// exercise the crypto/rand allowlist (no expectations: it must be clean).
+	analysistest.Run(t, detsource.Analyzer,
+		"iaccf/internal/detsourcefix",
+		"iaccf/internal/hashsig",
+	)
+}

@@ -1,0 +1,27 @@
+// Fixture for the detsource analyzer: wall clocks, the global math/rand
+// generator, and off-allowlist crypto/rand imports all fire.
+package detsourcefix
+
+import (
+	crand "crypto/rand" // want `crypto/rand imported in deterministic package`
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global unseeded generator`
+}
+
+func nonce() []byte {
+	b := make([]byte, 32)
+	_, _ = crand.Read(b)
+	return b
+}

@@ -1,0 +1,14 @@
+package detsourcefix
+
+import "math/rand"
+
+// Explicitly seeded generators replay bit-for-bit from the seed (the sim
+// package's pattern) and must not fire.
+func shuffled(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(i + 1)
+	}
+	return out
+}

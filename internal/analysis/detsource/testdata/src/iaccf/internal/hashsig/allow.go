@@ -1,0 +1,12 @@
+// Fixture loaded under the real hashsig import path: the crypto/rand
+// allowlist keys on the package path, so this import must NOT fire even
+// though the package is deterministic-scoped.
+package hashsig
+
+import "crypto/rand"
+
+func keyBytes() []byte {
+	b := make([]byte, 32)
+	_, _ = rand.Read(b)
+	return b
+}

@@ -1,0 +1,46 @@
+// Package poolown enforces the ownership discipline documented in
+// internal/pool/pool.go and the "Slice ownership and pooling" section of
+// internal/consensus/README.md: a slice obtained from pool.Bytes.Get,
+// pool.Slice.Get, or wire.GetScratch is the caller's only until the
+// matching Put, and in between it must not leak into anything that
+// outlives the call — no returns, no stores into fields or globals, no
+// channel sends, no goroutine captures — and must not be touched after
+// the Put. The sanctioned escapes remain invisible to the analyzer on
+// purpose: passing the buffer to a call (hashing it, copying it out,
+// encoding from it) is always allowed, and `append([]byte(nil), buf...)`
+// produces an untainted copy the caller may keep.
+package poolown
+
+import (
+	"iaccf/internal/analysis"
+	"iaccf/internal/analysis/taint"
+)
+
+// Analyzer is the poolown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolown",
+	Doc: "enforce pooled-buffer ownership: values from pool Get/wire.GetScratch " +
+		"must not be retained (returned, stored into fields, sent, or captured) " +
+		"and must not be used after the matching Put",
+	Run: run,
+}
+
+const poolPath = "iaccf/internal/pool"
+const wirePath = "iaccf/internal/wire"
+
+func run(pass *analysis.Pass) error {
+	taint.Check(pass, taint.Rule{
+		Kind: "pooled buffer",
+		Sources: []taint.FuncMatch{
+			{PkgPath: poolPath, Recv: "Bytes", Name: "Get"},
+			{PkgPath: poolPath, Recv: "Slice", Name: "Get"},
+			{PkgPath: wirePath, Name: "GetScratch"},
+		},
+		Release: []taint.FuncMatch{
+			{PkgPath: poolPath, Recv: "Bytes", Name: "Put"},
+			{PkgPath: poolPath, Recv: "Slice", Name: "Put"},
+			{PkgPath: wirePath, Name: "PutScratch"},
+		},
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"iaccf/internal/analysis/analysistest"
+	"iaccf/internal/analysis/poolown"
+)
+
+func TestPoolOwn(t *testing.T) {
+	analysistest.Run(t, poolown.Analyzer, "iaccf/internal/poolownfix")
+}

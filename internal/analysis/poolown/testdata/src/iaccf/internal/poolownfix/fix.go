@@ -1,0 +1,109 @@
+// Fixture for the poolown analyzer: every retention sink fires, every
+// sanctioned idiom from the real commit path stays silent.
+package poolownfix
+
+import (
+	"iaccf/internal/pool"
+	"iaccf/internal/wire"
+)
+
+var bufPool pool.Bytes
+
+var global []byte
+
+type holder struct{ buf []byte }
+
+// --- violations ---
+
+func returnsPooled() []byte {
+	b := bufPool.Get(64)
+	return b // want `pooled buffer from pool\.Bytes\.Get is returned`
+}
+
+func returnsAlias() []byte {
+	b := bufPool.Get(64)
+	c := b[:16]
+	return c // want `pooled buffer from pool\.Bytes\.Get is returned`
+}
+
+func storesField(h *holder) {
+	b := wire.GetScratch(32)
+	h.buf = b // want `pooled buffer from wire\.GetScratch is stored into field buf`
+}
+
+func storesGlobal() {
+	b := bufPool.Get(8)
+	global = b // want `stored into package-level variable global`
+}
+
+func sendsOnChannel(ch chan []byte) {
+	b := bufPool.Get(16)
+	ch <- b // want `sent on a channel`
+}
+
+func goroutineArg(sink func([]byte)) {
+	b := bufPool.Get(16)
+	go sink(b) // want `passed to a goroutine`
+}
+
+func goroutineCapture() {
+	b := bufPool.Get(16)
+	go func() {
+		_ = b[0] // want `captured by a goroutine`
+	}()
+}
+
+func useAfterPut() byte {
+	b := bufPool.Get(64)
+	b = append(b, 1, 2, 3)
+	bufPool.Put(b)
+	return b[0] // want `used after its release`
+}
+
+// --- sanctioned idioms (must not fire) ---
+
+// Copy-then-retain: append([]byte(nil), b...) is the documented copy-out.
+func copyOut() []byte {
+	b := bufPool.Get(64)
+	b = append(b, 'x')
+	out := append([]byte(nil), b...)
+	bufPool.Put(b)
+	return out
+}
+
+// Deferred Put does not arm the use-after-release check; uses between the
+// defer and function exit are the whole point of the pattern.
+func deferPut() []byte {
+	b := wire.GetScratch(64)
+	defer wire.PutScratch(b)
+	b = append(b, 'x')
+	return append([]byte(nil), b...)
+}
+
+// Calls are trusted boundaries: hashing, encoding, copying from the
+// buffer are all calls and all legal.
+func passToCall() {
+	b := bufPool.Get(64)
+	use(b)
+	bufPool.Put(b)
+}
+
+// A fresh Get after the Put opens a new lifetime for the variable.
+func regetAfterPut() byte {
+	b := bufPool.Get(64)
+	bufPool.Put(b)
+	b = bufPool.Get(128)
+	v := b[0]
+	bufPool.Put(b)
+	return v
+}
+
+// string(b) copies, so the result may be retained.
+func stringCopy() string {
+	b := bufPool.Get(8)
+	s := string(b)
+	bufPool.Put(b)
+	return s
+}
+
+func use([]byte) {}

@@ -1,0 +1,38 @@
+package suite_test
+
+import (
+	"testing"
+
+	"iaccf/internal/analysis"
+	"iaccf/internal/analysis/load"
+	"iaccf/internal/analysis/suite"
+)
+
+// TestRepoIsClean is the regression gate for the whole suite: every
+// package in the module must produce zero diagnostics. A failure here
+// means either a real invariant violation landed or an analyzer grew a
+// false positive — both block the tree, which is the point.
+func TestRepoIsClean(t *testing.T) {
+	root, err := load.RepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the loader is silently missing most of the module", len(pkgs))
+	}
+	analyzers := suite.Analyzers()
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			t.Errorf("%s: %v", pkg.PkgPath, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package unit implements the `go vet -vettool` driver protocol (the role
+// golang.org/x/tools/go/analysis/unitchecker plays for upstream analyzers)
+// from the standard library alone. The go command invokes the tool three
+// ways:
+//
+//   - `tool -V=full` — print an identifying line the go command hashes
+//     into its action cache key, so editing the tool invalidates cached
+//     vet results. The line embeds a digest of the tool binary itself.
+//   - `tool -flags` — print a JSON description of the tool's flags, so
+//     `go vet -<flag>` knows what to forward.
+//   - `tool [flags] <file>.cfg` — analyze one package. The cfg file (JSON)
+//     carries the package's file list plus, crucially, ImportMap and
+//     PackageFile: the go command has already compiled every dependency
+//     and points the tool at their gc export data, which go/importer
+//     reads back. No source re-typechecking of dependencies happens.
+//
+// The go command also schedules dependency packages in VetxOnly mode so
+// fact-passing analyzers can see upstream facts. This suite's invariants
+// are all intra-package (exemptions are tables in the analyzers, not
+// facts), so VetxOnly invocations just write an empty facts file and
+// exit — which is what keeps `go vet -vettool=iaccfvet ./...` cheap: the
+// standard library is skipped in O(1) per package.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"iaccf/internal/analysis"
+)
+
+// Config mirrors the vet configuration JSON emitted by the go command
+// (cmd/go/internal/work's vetConfig); unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// flagDesc is the JSON shape `go vet` expects from `tool -flags`.
+type flagDesc struct {
+	Name  string `json:"Name"`
+	Bool  bool   `json:"Bool"`
+	Usage string `json:"Usage"`
+}
+
+// Main is the tool entry point: it interprets the driver protocol and
+// runs the enabled analyzers over the package in the cfg file. It does
+// not return.
+func Main(progname string, analyzers []*analysis.Analyzer) {
+	args := os.Args[1:]
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var cfgFile string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Println(versionLine(progname))
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			var fds []flagDesc
+			for _, a := range analyzers {
+				fds = append(fds, flagDesc{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer (default true): " + firstLine(a.Doc)})
+			}
+			out, _ := json.Marshal(fds)
+			fmt.Println(string(out))
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			name, val, _ := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			if _, ok := enabled[name]; ok {
+				enabled[name] = val != "false" && val != "0"
+			}
+			// Unknown flags are ignored rather than fatal: the go command
+			// only forwards flags this tool declared, but being lenient
+			// here costs nothing and survives protocol drift.
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(os.Stderr, "%s: no .cfg file argument (this binary is a `go vet -vettool`; run it through go vet, `make lint`, or standalone with package patterns)\n", progname)
+		os.Exit(2)
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	diags, err := runCfg(cfgFile, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// versionLine satisfies the go command's `-V=full` contract: at least
+// three fields, the second literally "version", and a value that changes
+// whenever the tool binary changes so stale cached vet results die.
+func versionLine(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version v0-%x", progname, h.Sum(nil)[:12])
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// RunCfgForTest exposes the cfg path for tests.
+func RunCfgForTest(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	return runCfg(cfgFile, analyzers)
+}
+
+// runCfg analyzes the one package described by the cfg file and returns
+// formatted diagnostics.
+func runCfg(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: bad vet config: %v", cfgFile, err)
+	}
+	// The facts file must exist even when empty: the go command caches it
+	// as this package's vet output. This suite passes no facts between
+	// packages (exemptions are tables in the analyzers), so it is always
+	// empty — and writing it first means every early exit below is valid.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependencies (VetxOnly) contribute no diagnostics and no facts, and
+	// packages outside this module cannot trip invariants written against
+	// iaccf's own APIs: skip without parsing. This is the short-circuit
+	// that keeps whole-tree vet runs fast.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] || !strings.HasPrefix(cfg.ImportPath, "iaccf") {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	// Import paths in source resolve through ImportMap (vendoring, test
+	// variants) before hitting export data.
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	diags, err := analysis.RunAnalyzers(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

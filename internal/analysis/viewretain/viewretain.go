@@ -1,0 +1,35 @@
+// Package viewretain enforces the decode-aliasing rule from
+// internal/wire/wire.go and internal/consensus/README.md: the slice
+// returned by wire.Reader.BytesView aliases the input frame, so inside
+// the decode scope it may flow into hashing, verification, or any copying
+// call — but never into retained state. Everything a decoded message
+// keeps must come through wire.Reader.Bytes (which copies) or through an
+// explicit copy such as `append([]byte(nil), view...)` or `string(view)`.
+// The engine's call-boundary rule encodes the allowed flows: argument
+// positions are fine, retention sinks (returns, field stores, channel
+// sends, goroutine captures) are not.
+package viewretain
+
+import (
+	"iaccf/internal/analysis"
+	"iaccf/internal/analysis/taint"
+)
+
+// Analyzer is the viewretain pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewretain",
+	Doc: "enforce wire.Reader.BytesView aliasing rules: a view into the input " +
+		"frame must not outlive the decode scope — use Bytes (a copy) for " +
+		"anything retained",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	taint.Check(pass, taint.Rule{
+		Kind: "frame view",
+		Sources: []taint.FuncMatch{
+			{PkgPath: "iaccf/internal/wire", Recv: "Reader", Name: "BytesView"},
+		},
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package viewretain_test
+
+import (
+	"testing"
+
+	"iaccf/internal/analysis/analysistest"
+	"iaccf/internal/analysis/viewretain"
+)
+
+func TestViewRetain(t *testing.T) {
+	analysistest.Run(t, viewretain.Analyzer, "iaccf/internal/viewretainfix")
+}

@@ -26,6 +26,10 @@
 //     grouping tables) lives on the Ledger and is reused batch to batch;
 //     it is dead the moment the call returns, which the aliasing property
 //     tests prove by poisoning pools between batches (pool.SetPoison).
+//
+// These rules, plus the determinism requirements (no map-order bytes, no
+// wall clocks or unseeded randomness), are enforced statically by the
+// iaccfvet analyzers — see internal/analysis/README.md.
 package ledger
 
 import (

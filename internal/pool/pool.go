@@ -20,7 +20,10 @@
 //
 // Code that uses these pools documents, at its API boundary, which returned
 // slices a caller may retain. The poison mode below exists so tests can
-// prove those ownership comments true.
+// prove those ownership comments true, and the poolown analyzer
+// (internal/analysis/README.md) enforces the rule statically at vet time:
+// returning, storing, sending, or goroutine-capturing a pooled slice — or
+// touching it after Put — fails `make lint` and CI.
 //
 // # Poison mode
 //
