@@ -81,15 +81,20 @@ profile:
 # Benchmark-regression gate: the watched hot paths must stay within 15% of
 # the committed baseline on ns/op, B/op, and allocs/op, the pipelined
 # consensus window must sustain the serial (window=1) baseline's
-# throughput, and — on machines with the cores to show it — the
-# cross-shard commit workload must scale at least 2x (skewed: 1.5x) from
-# 1 to 4 CPUs through the parallel batch executor.
+# throughput, the bounded-memory workload must keep its retained ledger
+# residency under the window + checkpoint-interval cap (absolute, however
+# long the run — a leak grows with b.N and blows the cap), and — on
+# machines with the cores to show it — the cross-shard commit workload
+# must scale at least 2x (skewed: 1.5x) from 1 to 4 CPUs through the
+# parallel batch executor.
 bench-check:
 	$(GO) run ./cmd/benchcmp \
 		-baseline $(BENCH_BASELINE) -current $(BENCH_OUT) \
 		-watch BenchmarkConsensusCommit -watch BenchmarkCheckpointDigest/incremental \
 		-faster 'BenchmarkConsensusCommit/entries=1024/window=4:BenchmarkConsensusCommit/entries=1024/window=1' \
 		-faster 'BenchmarkConsensusCommit/entries=128/window=4:BenchmarkConsensusCommit/entries=128/window=1' \
+		-max 'BenchmarkConsensusBoundedMemory:retained-batches:8' \
+		-max 'BenchmarkConsensusBoundedMemory:retained-bytes:65536' \
 		$(SCALE_GATE)
 
 check: lint build race

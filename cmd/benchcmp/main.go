@@ -5,10 +5,13 @@
 // allocs/op (the latter two only when both files carry -benchmem
 // numbers). It also supports
 // intra-run assertions: `-faster A:B` proves the pipelined consensus
-// window sustains at least the serial baseline's throughput, and
+// window sustains at least the serial baseline's throughput,
 // `-scale A:B:factor` proves a multi-core run (`-cpu` variants are
 // addressable as Name-N) reaches a multiple of its single-core twin —
-// the gate that keeps the parallel batch executor actually parallel.
+// the gate that keeps the parallel batch executor actually parallel —
+// and `-max name:metric:limit` caps an absolute reported metric, the
+// gate that keeps the bounded-memory benchmark's retained bytes from
+// growing with workload length.
 //
 // Only the standard library is used, so the gate runs with `go run` on a
 // bare runner — no benchstat install step to break or cache.
@@ -127,10 +130,12 @@ func main() {
 		watch        stringList
 		faster       stringList
 		scale        stringList
+		maxes        stringList
 	)
 	flag.Var(&watch, "watch", "benchmark name `prefix` to gate on ns/op regression (repeatable)")
 	flag.Var(&faster, "faster", "intra-run assertion `A:B[:metric]`: current A must not fall below current B on the metric (default entries/sec), beyond the tolerance (repeatable)")
 	flag.Var(&scale, "scale", "intra-run scaling assertion `A:B:factor[:metric]`: current A must reach at least factor x current B on the metric (default entries/sec), minus the tolerance; address -cpu variants as Name-N (repeatable)")
+	flag.Var(&maxes, "max", "intra-run absolute cap `name:metric:limit`: current name's reported metric must not exceed limit — no tolerance, a cap is a cap (repeatable)")
 	flag.Parse()
 
 	if *currentPath == "" {
@@ -280,6 +285,38 @@ func main() {
 			continue
 		}
 		fmt.Printf("%-60s %s %12.0f is %.2fx %-40s %12.0f ok\n", parts[0], metric, av, av/bv, parts[1], bv)
+	}
+
+	for _, spec := range maxes {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -max spec %q (want name:metric:limit)\n", spec)
+			os.Exit(2)
+		}
+		limit, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || limit <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -max limit in %q\n", spec)
+			os.Exit(2)
+		}
+		metric := parts[1]
+		r, ok := current[parts[0]]
+		if !ok {
+			report("-max %s: benchmark missing from current run", spec)
+			continue
+		}
+		v, ok := r.metrics[metric]
+		if metric == "ns/op" {
+			v, ok = r.nsPerOp, r.nsPerOp > 0
+		}
+		if !ok {
+			report("-max %s: metric %q missing", spec, metric)
+			continue
+		}
+		if v > limit {
+			fail("max", parts[0], metric, limit, v, "absolute cap exceeded")
+			continue
+		}
+		fmt.Printf("%-60s %s %12.0f <= cap %12.0f ok\n", parts[0], metric, v, limit)
 	}
 
 	if failed {

@@ -173,3 +173,107 @@ func benchCommitKeyed(b *testing.B, batchSize, window int, shards uint32, mkReq 
 	b.StopTimer()
 	b.ReportMetric(float64(batchSize)*float64(window)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
 }
+
+// BenchmarkConsensusBoundedMemory is the bounded-memory gate's workload: a
+// long committed history (b.N scales it) with checkpointing and pruning
+// active. What it reports is not throughput but residency — the maximum
+// batches and encoded batch bytes any replica retained at any point. With
+// the commit-path prune the bound is window + checkpoint interval,
+// independent of how many batches the run commits; benchcmp's
+// `-max ...:retained-bytes:...` cap turns an O(history) leak into a CI
+// failure instead of an OOM on a long-lived cluster.
+func BenchmarkConsensusBoundedMemory(b *testing.B) {
+	const n = 4
+	keys := make([]*hashsig.PrivateKey, n)
+	peers := make([]*hashsig.PublicKey, n)
+	for i := range keys {
+		keys[i] = hashsig.GenerateKeyFromSeed(fmt.Sprintf("bench-%d", i))
+		peers[i] = keys[i].Public()
+	}
+	replicas := make([]*Replica, n)
+	for i := range replicas {
+		r, err := New(Config{
+			ID:              ReplicaID(i),
+			Key:             keys[i],
+			Peers:           peers,
+			App:             ledger.KVApp{},
+			CheckpointEvery: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas[i] = r
+	}
+	author := hashsig.Sum([]byte("bench-client"))
+	reqsFor := func(seq uint64) []ledger.Request {
+		reqs := make([]ledger.Request, 32)
+		for i := range reqs {
+			reqs[i] = ledger.Request{
+				Author: author,
+				ReqNo:  seq*100000 + uint64(i),
+				Body: ledger.EncodeOps([]ledger.Op{{
+					Key: fmt.Sprintf("key-%d", i%512),
+					Val: []byte(fmt.Sprintf("val-%d-%d", seq, i)),
+				}}),
+			}
+		}
+		return reqs
+	}
+	retained := func() (batches int, bytes int) {
+		for _, r := range replicas {
+			got := r.Ledger().RetainedBatches()
+			if got > batches {
+				batches = got
+			}
+			total := 0
+			for _, batch := range r.Ledger().Batches() {
+				total += len(encodeBatchChunk(batch))
+			}
+			if total > bytes {
+				bytes = total
+			}
+		}
+		return
+	}
+
+	maxBatches, maxBytes := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i) + 1
+		pp, _, err := replicas[0].Propose(reqsFor(seq))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := [][]byte{EncodeMessage(pp)}
+		for len(frames) > 0 {
+			msgs := make([]Message, len(frames))
+			for j, frame := range frames {
+				m, err := DecodeMessage(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs[j] = m
+			}
+			frames = frames[:0]
+			for _, r := range replicas {
+				for _, o := range r.HandleAll(msgs) {
+					frames = append(frames, EncodeMessage(o))
+				}
+			}
+		}
+		if replicas[0].Committed() != seq {
+			b.Fatalf("stuck at %d, want %d", replicas[0].Committed(), seq)
+		}
+		if batches, bytes := retained(); true {
+			if batches > maxBatches {
+				maxBatches = batches
+			}
+			if bytes > maxBytes {
+				maxBytes = bytes
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(maxBatches), "retained-batches")
+	b.ReportMetric(float64(maxBytes), "retained-bytes")
+}

@@ -125,8 +125,14 @@ func TestHappyPathCommit(t *testing.T) {
 		if len(r.Evidence()) != 0 {
 			t.Fatalf("replica %d collected blame in an honest run", r.ID())
 		}
-		if got := len(r.Ledger().Batches()); got != 5 {
-			t.Fatalf("replica %d retains %d batches, want 5", r.ID(), got)
+		// Bounded retention: after committing 5 with CheckpointEvery=2 and
+		// window 4, the commit path prunes below min(ckpt 4 + 1, 5 - 4 + 1),
+		// so batch 1 is gone and seqs 2..5 remain.
+		if got := len(r.Ledger().Batches()); got != 4 {
+			t.Fatalf("replica %d retains %d batches, want 4", r.ID(), got)
+		}
+		if got := r.Ledger().FirstRetainedSeq(); got != 2 {
+			t.Fatalf("replica %d first retained seq %d, want 2", r.ID(), got)
 		}
 	}
 }
@@ -470,5 +476,37 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if got := r.InFlight(); got != DefaultWindow {
 		t.Fatalf("in-flight %d, want %d", got, DefaultWindow)
+	}
+}
+
+// TestBufferDiscardsPermanentlyStale: a delayed retransmit for a batch the
+// replica has checkpointed past can never become processable — buffering it
+// would leak it until maxFuture churn. The guard acks-and-discards exactly
+// the messages below the retained re-ack window; view-keyed traffic is
+// never seq-gated.
+func TestBufferDiscardsPermanentlyStale(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	r := c.replicas[0]
+	r.committed = 100 // window is DefaultWindow = 4
+
+	r.buffer(&Commit{Seq: 3})
+	if len(r.future) != 0 {
+		t.Fatal("commit far below the checkpoint was buffered")
+	}
+	r.buffer(&Commit{Seq: 96}) // 96 + 4 <= 100: still unreachable
+	if len(r.future) != 0 {
+		t.Fatal("commit at the discard boundary was buffered")
+	}
+	r.buffer(&Commit{Seq: 97}) // inside the re-ack window: keep
+	if len(r.future) != 1 {
+		t.Fatal("in-window commit was discarded")
+	}
+	r.buffer(&PrePrepare{}) // seq 0 placeholder traffic is never discarded
+	if len(r.future) != 2 {
+		t.Fatal("zero-seq message was discarded")
+	}
+	r.buffer(&ViewChange{}) // view-keyed: not subject to the seq gate
+	if len(r.future) != 3 {
+		t.Fatal("view-change was discarded by the seq gate")
 	}
 }

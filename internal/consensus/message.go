@@ -42,6 +42,20 @@ const (
 	MsgViewChange MsgType = 4
 	// MsgNewView is the new primary's 2f+1 view-change certificate.
 	MsgNewView MsgType = 5
+	// MsgSyncRequest is a laggard's ask for checkpoint availability: who
+	// holds a checkpoint past its committed watermark.
+	MsgSyncRequest MsgType = 6
+	// MsgSyncAvail answers a sync request: the responder's latest committed
+	// checkpoint coordinates, anchored by the commit certificate for its
+	// latest committed batch.
+	MsgSyncAvail MsgType = 7
+	// MsgSyncChunkRequest asks one peer for one state or batch chunk of an
+	// announced checkpoint.
+	MsgSyncChunkRequest MsgType = 8
+	// MsgSyncChunk carries one requested chunk: a shard's canonical
+	// serialization, or one committed batch of the suffix above the
+	// checkpoint.
+	MsgSyncChunk MsgType = 9
 )
 
 // ErrBadMessage reports a malformed consensus message on decode.
@@ -458,6 +472,170 @@ func decodeNewView(r *wire.Reader) *NewView {
 	return m
 }
 
+// SyncRequest is a laggard's broadcast ask for state transfer: any replica
+// holding a committed checkpoint past HaveSeq answers with a SyncAvail.
+// Sync messages are unsigned — nothing in them is trusted. The availability
+// answer carries a commit certificate, and every chunk is verified against
+// the digests that certificate signs over before adoption, so a forged or
+// spoofed sync message can waste a round trip but never corrupt state.
+type SyncRequest struct {
+	Replica ReplicaID // requester
+	HaveSeq uint64    // requester's committed watermark
+}
+
+// Type implements Message.
+func (m *SyncRequest) Type() MsgType { return MsgSyncRequest }
+
+func (m *SyncRequest) encodeBody(w *wire.Writer) {
+	w.Uint32(uint32(m.Replica))
+	w.Uint64(m.HaveSeq)
+}
+
+func decodeSyncRequest(r *wire.Reader) *SyncRequest {
+	return &SyncRequest{
+		Replica: ReplicaID(r.Uint32()),
+		HaveSeq: r.Uint64(),
+	}
+}
+
+// maxFrontierBytes bounds the encoded history-tree frontier accepted on
+// decode: 12 header bytes plus at most 64 peak digests.
+const maxFrontierBytes = 1 << 12
+
+// SyncAvail announces what the responder can serve: its latest committed
+// checkpoint (sequence number, per-shard digest vector, history-tree
+// frontier) plus the commit certificate for its latest committed batch.
+// The certificate is the sole trust anchor of the transfer: its signed
+// header's d_C must equal the combined shard digest vector, each state
+// chunk must hash to its slot in that vector, and the batch suffix up to
+// the certified sequence number must replay to the certified header.
+type SyncAvail struct {
+	Replica      ReplicaID // responder
+	Requester    ReplicaID
+	CkptSeq      uint64
+	ShardDigests []hashsig.Digest
+	Frontier     []byte // merkle.Frontier.Encode() at CkptSeq
+	Cert         *CommitCert
+}
+
+// Type implements Message.
+func (m *SyncAvail) Type() MsgType { return MsgSyncAvail }
+
+func (m *SyncAvail) encodeBody(w *wire.Writer) {
+	w.Uint32(uint32(m.Replica))
+	w.Uint32(uint32(m.Requester))
+	w.Uint64(m.CkptSeq)
+	w.Uint32(uint32(len(m.ShardDigests)))
+	for _, d := range m.ShardDigests {
+		w.Digest(d)
+	}
+	w.Bytes(m.Frontier)
+	if m.Cert != nil {
+		w.Uint32(1)
+		m.Cert.encodeTo(w)
+	} else {
+		w.Uint32(0)
+	}
+}
+
+func decodeSyncAvail(r *wire.Reader) *SyncAvail {
+	m := &SyncAvail{
+		Replica:   ReplicaID(r.Uint32()),
+		Requester: ReplicaID(r.Uint32()),
+		CkptSeq:   r.Uint64(),
+	}
+	nd := r.Uint32()
+	if r.Err() == nil && nd > wire.MaxStreamShards {
+		r.Fail(errTooMany("shard digests", nd))
+		return m
+	}
+	m.ShardDigests = make([]hashsig.Digest, 0, min(nd, 64))
+	for i := uint32(0); i < nd && r.Err() == nil; i++ {
+		m.ShardDigests = append(m.ShardDigests, r.Digest())
+	}
+	m.Frontier = r.Bytes(maxFrontierBytes)
+	if decodeFlag(r, "sync certificate") {
+		m.Cert = decodeCommitCert(r)
+	}
+	return m
+}
+
+// Chunk kinds carried by SyncChunkRequest/SyncChunk.
+const (
+	// SyncChunkState is one shard's canonical serialization; Index is the
+	// shard number. It verifies by hashing to ShardDigests[Index].
+	SyncChunkState uint32 = 0
+	// SyncChunkBatch is one committed batch above the checkpoint; Index is
+	// the offset, so the batch's sequence number is CkptSeq+1+Index. It
+	// verifies transitively by replaying onto the checkpoint up to the
+	// certified header.
+	SyncChunkBatch uint32 = 1
+)
+
+// SyncChunkRequest asks Source for one chunk of the checkpoint at CkptSeq.
+type SyncChunkRequest struct {
+	Replica ReplicaID // requester
+	Source  ReplicaID
+	CkptSeq uint64
+	Kind    uint32
+	Index   uint64
+}
+
+// Type implements Message.
+func (m *SyncChunkRequest) Type() MsgType { return MsgSyncChunkRequest }
+
+func (m *SyncChunkRequest) encodeBody(w *wire.Writer) {
+	w.Uint32(uint32(m.Replica))
+	w.Uint32(uint32(m.Source))
+	w.Uint64(m.CkptSeq)
+	w.Uint32(m.Kind)
+	w.Uint64(m.Index)
+}
+
+func decodeSyncChunkRequest(r *wire.Reader) *SyncChunkRequest {
+	return &SyncChunkRequest{
+		Replica: ReplicaID(r.Uint32()),
+		Source:  ReplicaID(r.Uint32()),
+		CkptSeq: r.Uint64(),
+		Kind:    r.Uint32(),
+		Index:   r.Uint64(),
+	}
+}
+
+// SyncChunk carries one chunk back to the requester.
+type SyncChunk struct {
+	Replica   ReplicaID // source
+	Requester ReplicaID
+	CkptSeq   uint64
+	Kind      uint32
+	Index     uint64
+	Data      []byte
+}
+
+// Type implements Message.
+func (m *SyncChunk) Type() MsgType { return MsgSyncChunk }
+
+func (m *SyncChunk) encodeBody(w *wire.Writer) {
+	w.Uint32(uint32(m.Replica))
+	w.Uint32(uint32(m.Requester))
+	w.Uint64(m.CkptSeq)
+	w.Uint32(m.Kind)
+	w.Uint64(m.Index)
+	w.Bytes(m.Data)
+}
+
+func decodeSyncChunk(r *wire.Reader) *SyncChunk {
+	m := &SyncChunk{
+		Replica:   ReplicaID(r.Uint32()),
+		Requester: ReplicaID(r.Uint32()),
+		CkptSeq:   r.Uint64(),
+		Kind:      r.Uint32(),
+		Index:     r.Uint64(),
+	}
+	m.Data = r.Bytes(wire.MaxChunkLen)
+	return m
+}
+
 // EncodeMessage serializes a message as one self-describing frame: the type
 // tag byte, then the body in the deterministic wire codec. The frame is
 // built with the append-mode writer — one allocation for the frame itself,
@@ -482,7 +660,7 @@ func DecodeMessage(b []byte) (Message, error) {
 	r := wire.NewBytesReader(b)
 	var m Message
 	tag := r.Uint32()
-	if r.Err() == nil && tag > uint32(MsgNewView) {
+	if r.Err() == nil && tag > uint32(MsgSyncChunk) {
 		// Reject out-of-range tags on the full 32 bits: a silent truncation
 		// to MsgType's underlying byte would let distinct frames decode to
 		// the same message, breaking canonical encoding.
@@ -499,6 +677,14 @@ func DecodeMessage(b []byte) (Message, error) {
 		m = decodeViewChange(r)
 	case MsgNewView:
 		m = decodeNewView(r)
+	case MsgSyncRequest:
+		m = decodeSyncRequest(r)
+	case MsgSyncAvail:
+		m = decodeSyncAvail(r)
+	case MsgSyncChunkRequest:
+		m = decodeSyncChunkRequest(r)
+	case MsgSyncChunk:
+		m = decodeSyncChunk(r)
 	default:
 		if r.Err() == nil {
 			return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, t)

@@ -191,6 +191,11 @@ type Replica struct {
 	sigOK  *sigMemo
 	peerID map[*hashsig.PublicKey]hashsig.Digest
 
+	// sync is the checkpoint state-transfer state machine (sync.go): how
+	// this replica recovers once the cluster has pruned the batches it
+	// would need for in-window catch-up.
+	sync syncState
+
 	// gen counts state transitions that can make buffered messages
 	// processable; Handle drains the future buffer when it advances.
 	gen uint64
@@ -306,9 +311,10 @@ func (r *Replica) DebugState() string {
 			win += fmt.Sprintf("reack{view %d seq %d endorsers %d opens %d} ", in.prop.View, seq, in.endorsers(), len(in.opens))
 		}
 	}
-	return fmt.Sprintf("replica %d: view %d committed %d window %d vc %v(target %d) floor %d obligations %d pending %d future %d %s",
+	return fmt.Sprintf("replica %d: view %d committed %d window %d vc %v(target %d) floor %d obligations %d pending %d future %d sync %d(ahead %d) retained %d %s",
 		r.cfg.ID, r.view, r.committed, r.window, r.inViewChange, r.vcTarget, r.proposeFloor,
-		len(r.mustRepropose), len(r.pendingRepropose), len(r.future), win)
+		len(r.mustRepropose), len(r.pendingRepropose), len(r.future), r.sync.phase, r.sync.ahead,
+		r.led.RetainedBatches(), win)
 }
 
 // sortedKeys returns m's keys in ascending order. Every place the replica
@@ -432,6 +438,14 @@ func (r *Replica) drainFuture(out *[]Message) {
 }
 
 func (r *Replica) buffer(m Message) {
+	// Ack-and-discard: a delayed retransmit (or a later-view copy) of a
+	// message for a batch below the retained re-ack window can never be
+	// processed — the replica checkpointed past it and its peers pruned it.
+	// Buffering it would leak it until maxFuture churn under long
+	// adversarial schedules.
+	if seq, ok := messageSeq(m); ok && seq > 0 && seq+uint64(r.window) <= r.committed {
+		return
+	}
 	if len(r.future) >= maxFuture {
 		r.future = r.future[1:]
 	}
@@ -450,6 +464,14 @@ func (r *Replica) handle(m Message, out *[]Message) error {
 		return r.handleViewChange(msg, out)
 	case *NewView:
 		return r.handleNewView(msg, out)
+	case *SyncRequest:
+		return r.handleSyncRequest(msg, out)
+	case *SyncAvail:
+		return r.handleSyncAvail(msg, out)
+	case *SyncChunkRequest:
+		return r.handleSyncChunkRequest(msg, out)
+	case *SyncChunk:
+		return r.handleSyncChunk(msg, out)
 	default:
 		return fmt.Errorf("%w: unknown message %T", ErrInvalid, m)
 	}
@@ -546,6 +568,10 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 		return r.startReack(pp, out)
 	}
 	if seq > r.committed+uint64(r.window) {
+		// A validly signed proposal at seq implies its primary committed at
+		// least seq-window: evidence this replica may be beyond in-window
+		// catch-up (sync.go decides after patience).
+		r.noteAhead(seq - uint64(r.window))
 		r.buffer(pp)
 		return nil
 	}
@@ -672,6 +698,16 @@ func (r *Replica) abandonFrom(seq uint64) {
 	}
 	if r.led.Seq() > seq {
 		if err := r.led.RollbackTo(seq); err != nil {
+			if errors.Is(err, ledger.ErrPruned) {
+				// The rollback target fell below the pruned checkpoint
+				// boundary: local history can no longer reach the state the
+				// protocol needs, so route into state transfer instead of
+				// crashing — the sync protocol replaces the whole ledger with
+				// a verified checkpoint.
+				r.sync.force = true
+				r.gen++
+				return
+			}
 			// The mark exists: every executed batch leaves one, and marks at
 			// or above the committed boundary are never pruned.
 			panic(err)
@@ -790,12 +826,14 @@ func (r *Replica) checkPrepared(in *instance, out *[]Message) {
 // until their predecessors commit. A completed re-ack is dropped (its
 // batch was already committed).
 func (r *Replica) advanceCommits(out *[]Message) {
+	progressed := false
 	for {
 		seq := r.committed + 1
 		in := r.insts[seq]
 		if in == nil || in.openedQuorum() < r.quorum {
 			break
 		}
+		progressed = true
 		cert := r.buildCommitCert(in)
 		delete(r.insts, seq)
 		r.committed = seq
@@ -811,6 +849,13 @@ func (r *Replica) advanceCommits(out *[]Message) {
 			}
 		}
 		r.gen++
+	}
+	if progressed {
+		// Commits advanced past a checkpoint boundary eventually: drop
+		// batches below both the latest committed checkpoint and the re-ack
+		// window, bounding retained ledger memory (sync.go serves anything
+		// older via chunked state transfer).
+		r.maybePrune()
 	}
 	// Close out re-acks that served their purpose (full quorum of
 	// openings re-formed) or slid out of the retained window.
@@ -1005,6 +1050,8 @@ func (r *Replica) handleViewChange(vc *ViewChange, out *[]Message) error {
 	if err := r.validateViewChange(vc); err != nil {
 		return err
 	}
+	// The committed claim was just certified against its commit proof.
+	r.noteAhead(vc.CommittedSeq)
 	for i := range vc.Prepared {
 		r.checkEquivocation(&vc.Prepared[i].PP.Prop)
 	}
@@ -1091,6 +1138,7 @@ func (r *Replica) enterView(nv *NewView, out *[]Message) {
 			maxCommitted = vc.CommittedSeq
 		}
 	}
+	r.noteAhead(maxCommitted)
 	best := make(map[uint64]*PrePrepare)
 	for i := range nv.VCs {
 		for j := range nv.VCs[i].Prepared {

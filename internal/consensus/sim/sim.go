@@ -41,11 +41,29 @@ const (
 	// silent. The honest replicas must both capture blame evidence naming
 	// its key and recover liveness through a view change.
 	BehaviourEquivocate Behaviour = "equivocate"
+	// BehaviourLyingSync participates honestly in consensus but corrupts
+	// every state-transfer chunk it serves. Laggards must detect the
+	// corruption (digest mismatch, failed decode, or a failed adoption
+	// anchor), ban the source, and complete the transfer from an honest
+	// peer — the liar costs latency, never safety.
+	BehaviourLyingSync Behaviour = "lying-sync"
 )
 
 // Partition isolates replica groups during a step window.
 type Partition struct {
 	From, Until int // active while From <= step < Until
+	// UntilCommit, when nonzero, keeps the partition active from From until
+	// some honest replica's committed sequence number reaches it (Until is
+	// ignored). It requires Loss: there is no predictable release step for
+	// held traffic. Commit-gated healing is how the churn scenarios
+	// guarantee the isolated replica misses more than a checkpoint interval
+	// regardless of how fast the majority happens to commit.
+	UntilCommit uint64
+	// Loss drops cross-group envelopes outright instead of holding them for
+	// release at heal time — the overflowed-buffer model. A replica cut off
+	// by a loss partition can only recover through checkpoint state
+	// transfer once its peers prune the batches it missed.
+	Loss bool
 	// Group maps replica -> group index; unlisted replicas are group 0.
 	Group map[consensus.ReplicaID]int
 }
@@ -96,6 +114,7 @@ type Result struct {
 	Steps     int
 	Delivered int
 	Deferred  int
+	Lost      int // envelopes destroyed by loss partitions
 	// Committed is the final committed sequence number (identical on every
 	// honest replica; the run fails otherwise).
 	Committed uint64
@@ -127,6 +146,7 @@ type Sim struct {
 	step       int
 	delivered  int
 	deferred   int
+	lost       int
 	lastCommit uint64 // sum of honest committed seqs at last progress
 	stall      int
 
@@ -198,6 +218,11 @@ func New(cfg Config) (*Sim, error) {
 	if len(s.honest) < 3 {
 		return nil, fmt.Errorf("sim: %d honest replicas cannot form a quorum", len(s.honest))
 	}
+	for i := range cfg.Partitions {
+		if p := &cfg.Partitions[i]; p.UntilCommit > 0 && !p.Loss {
+			return nil, fmt.Errorf("sim: commit-gated partition %d requires Loss (held traffic has no release step)", i)
+		}
+	}
 	return s, nil
 }
 
@@ -259,16 +284,42 @@ func (s *Sim) sendTo(from, to consensus.ReplicaID, m consensus.Message) {
 	s.queue = append(s.queue, envelope{from: from, to: to, frame: consensus.EncodeMessage(m)})
 }
 
-// partitioned reports whether an envelope crosses a partition active at the
-// current step.
-func (s *Sim) partitioned(e envelope) bool {
-	for i := range s.cfg.Partitions {
-		p := &s.cfg.Partitions[i]
-		if s.step >= p.From && s.step < p.Until && p.Group[e.from] != p.Group[e.to] {
-			return true
+// partitionActive reports whether partition p is in force at the current
+// step: a fixed step window, or — commit-gated — until some honest replica
+// commits UntilCommit.
+func (s *Sim) partitionActive(p *Partition) bool {
+	if s.step < p.From {
+		return false
+	}
+	if p.UntilCommit > 0 {
+		return s.maxHonestCommitted() < p.UntilCommit
+	}
+	return s.step < p.Until
+}
+
+func (s *Sim) maxHonestCommitted() uint64 {
+	var m uint64
+	for _, rep := range s.honest {
+		if c := rep.Committed(); c > m {
+			m = c
 		}
 	}
-	return false
+	return m
+}
+
+// partitioned reports whether an envelope crosses a partition active at the
+// current step, and whether any such partition destroys traffic outright.
+func (s *Sim) partitioned(e envelope) (held, lost bool) {
+	for i := range s.cfg.Partitions {
+		p := &s.cfg.Partitions[i]
+		if s.partitionActive(p) && p.Group[e.from] != p.Group[e.to] {
+			if p.Loss {
+				return false, true // loss dominates: the envelope is gone
+			}
+			held = true
+		}
+	}
+	return held, false
 }
 
 // partitionHealsAt returns the earliest step at which the envelope stops
@@ -277,7 +328,7 @@ func (s *Sim) partitionHealsAt(e envelope) int {
 	release := s.step + 1
 	for i := range s.cfg.Partitions {
 		p := &s.cfg.Partitions[i]
-		if s.step >= p.From && s.step < p.Until && p.Group[e.from] != p.Group[e.to] && p.Until > release {
+		if s.partitionActive(p) && p.Group[e.from] != p.Group[e.to] && p.Until > release {
 			release = p.Until
 		}
 	}
@@ -297,9 +348,24 @@ func (s *Sim) deliver(e envelope) error {
 	}
 	if node, ok := s.byz[e.to]; ok && node.rep != nil && !node.struck {
 		out, _ := node.rep.Handle(msg)
+		if node.behaviour == BehaviourLyingSync {
+			corruptSyncChunks(out)
+		}
 		s.broadcast(e.to, out)
 	}
 	return nil
+}
+
+// corruptSyncChunks flips a byte in every outbound state-transfer chunk,
+// modelling a chunk server that serves garbage while participating honestly
+// in consensus. The payloads are freshly built per response, so mutating
+// them in place corrupts only what goes on the wire.
+func corruptSyncChunks(msgs []consensus.Message) {
+	for _, m := range msgs {
+		if sc, ok := m.(*consensus.SyncChunk); ok && len(sc.Data) > 0 {
+			sc.Data[len(sc.Data)/2] ^= 0xff
+		}
+	}
 }
 
 // tick lets primaries fill their proposal windows and scripted nodes
@@ -317,6 +383,12 @@ func (s *Sim) tick() {
 			}
 			s.broadcast(id, []consensus.Message{pp})
 		}
+	}
+	// Drive the deterministic state-transfer clock: one tick per step, so
+	// sync patience, retry deadlines, and backoff are all measured in
+	// schedule steps.
+	for _, id := range s.honestIDs() {
+		s.broadcast(id, s.honest[id].SyncTick())
 	}
 	for i := 0; i < s.cfg.N; i++ {
 		id := consensus.ReplicaID(i)
@@ -382,6 +454,16 @@ func (s *Sim) equivocate(id consensus.ReplicaID, rep *consensus.Replica) {
 func (s *Sim) checkInvariants() error {
 	for _, id := range s.honestIDs() {
 		rep := s.honest[id]
+		// Bounded memory: the commit path prunes below the latest committed
+		// checkpoint and the re-ack window, so a replica never retains more
+		// than max(window, interval-1) committed batches plus window
+		// speculative ones — window + max(window, interval) is a safe cap
+		// that must hold at every step of every schedule.
+		limit := rep.Window() + max(rep.Window(), int(s.cfg.CheckpointEvery))
+		if got := rep.Ledger().RetainedBatches(); got > limit {
+			return fmt.Errorf("memory: replica %d retains %d batches, bound %d (%s)",
+				id, got, limit, rep.DebugState())
+		}
 		committed := rep.Committed()
 		if committed <= s.checked[id] {
 			continue
@@ -484,8 +566,11 @@ func (s *Sim) Run() (*Result, error) {
 			}
 			e := s.queue[idx]
 			s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+			held, lost := s.partitioned(e)
 			switch {
-			case s.partitioned(e):
+			case lost:
+				s.lost++
+			case held:
 				s.held = append(s.held, heldEnvelope{env: e, release: s.partitionHealsAt(e)})
 			case s.cfg.DropRate > 0 && s.rng.Float64() < s.cfg.DropRate:
 				// Dropped: the sender's retransmission surfaces later at a
@@ -519,6 +604,7 @@ func (s *Sim) Run() (*Result, error) {
 		Steps:     s.step,
 		Delivered: s.delivered,
 		Deferred:  s.deferred,
+		Lost:      s.lost,
 		Replicas:  s.honest,
 	}
 	ids := s.honestIDs()

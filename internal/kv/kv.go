@@ -384,16 +384,26 @@ func Restore(r io.Reader) (*Store, error) {
 
 // readMap reads one canonical map stream (count + pairs) from rd. Errors
 // stick in the reader; on error the partial map is returned and ignored by
-// callers.
+// callers. Every frame boundary annotates a failure with its position, so
+// a truncated or oversized stream reports exactly which frame broke — and
+// no partially-read map is ever installed into a store (Restore and
+// friends only construct the store after a clean ExpectEOF).
 func readMap(rd *wire.Reader) *champ.Map {
 	n := rd.Uint64()
+	rd.Annotate("entry count header")
 	m := champ.Empty()
 	for i := uint64(0); i < n && rd.Err() == nil; i++ {
 		k := rd.String(wire.MaxKeyLen)
-		v := rd.Bytes(wire.MaxValueLen)
-		if rd.Err() == nil {
-			m = m.Set(k, v)
+		if rd.Err() != nil {
+			rd.Annotate("entry %d of %d: key", i, n)
+			break
 		}
+		v := rd.Bytes(wire.MaxValueLen)
+		if rd.Err() != nil {
+			rd.Annotate("entry %d of %d: value for key %q", i, n, k)
+			break
+		}
+		m = m.Set(k, v)
 	}
 	return m
 }

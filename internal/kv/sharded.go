@@ -314,6 +314,27 @@ func combineShardDigests(digests []hashsig.Digest) hashsig.Digest {
 	return out
 }
 
+// CombineShardDigests hashes a shard digest vector into d_C exactly as
+// CheckpointDigest does. It is the verification half of chunked state
+// transfer: a syncing replica that holds a signed header's CkptDigest and a
+// claimed per-shard digest vector recomputes the combine to check the
+// vector is the one the header certified — before fetching a single chunk.
+func CombineShardDigests(digests []hashsig.Digest) hashsig.Digest {
+	return combineShardDigests(digests)
+}
+
+// ShardDigests returns a copy of the full per-shard digest vector,
+// computing any dirty entries. Element i is the digest of the byte stream
+// SerializeShard(i) produces, so a state-transfer chunk verifies by
+// hashing its bytes and comparing against this vector.
+func (s *ShardedStore) ShardDigests() []hashsig.Digest {
+	out := make([]hashsig.Digest, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.ShardDigest(i)
+	}
+	return out
+}
+
 // Digest returns the flat canonical digest of the full contents — the same
 // value an unsharded Store with identical contents returns from
 // Store.Digest. It rescans everything (O(n)); checkpointing uses
@@ -355,35 +376,48 @@ func (s *ShardedStore) Serialize(w io.Writer) error {
 	return ww.Flush()
 }
 
+// SerializeShard writes one shard's canonical stream — the exact bytes
+// whose hash is ShardDigest(i). This is the state-transfer chunk unit: a
+// checkpoint travels as one chunk per shard, each independently verifiable
+// against the signed d_C's per-shard digest vector.
+func (s *ShardedStore) SerializeShard(i int, w io.Writer) error {
+	ww := wire.NewWriter(w)
+	encodeMapCanonical(ww, s.shards[i])
+	return ww.Flush()
+}
+
 // RestoreSharded replaces a store with a stream produced by Serialize. Every
 // key is checked against its declared shard: a stream that smuggles a key
 // into the wrong shard is rejected, so distinct logical states can never
 // restore to equal checkpoint digests.
 func RestoreSharded(r io.Reader) (*ShardedStore, error) {
+	return RestoreShardedFor(r, 0)
+}
+
+// RestoreShardedFor is RestoreSharded with the restoring replica's
+// configured shard count enforced: a stream whose header declares a
+// different partition than the store being restored is rejected up front,
+// before any shard bytes are read. wantShards 0 accepts any valid count.
+// On any error no store is returned — a partial restore is never
+// observable.
+func RestoreShardedFor(r io.Reader, wantShards uint32) (*ShardedStore, error) {
 	rd := wire.NewReader(r)
 	n := rd.Uint32()
+	rd.Annotate("shard count header")
 	if rd.Err() == nil && (n < 1 || n > MaxShards) {
 		return nil, fmt.Errorf("kv: restore: %w: shard count %d", wire.ErrCorrupt, n)
+	}
+	if rd.Err() == nil && wantShards != 0 && n != wantShards {
+		return nil, fmt.Errorf("kv: restore: %w: stream has %d shards, store configured for %d",
+			wire.ErrCorrupt, n, wantShards)
 	}
 	if rd.Err() != nil {
 		return nil, fmt.Errorf("kv: restore: %w", rd.Err())
 	}
 	s := NewSharded(int(n))
 	for i := range s.shards {
-		m := readMap(rd)
-		if rd.Err() != nil {
-			break
-		}
-		bad := false
-		m.Range(func(k string, _ []byte) bool {
-			if champ.ShardOf(k, n) != uint32(i) {
-				rd.Fail(fmt.Errorf("%w: key %q in shard %d, belongs to %d", wire.ErrCorrupt, k, i, champ.ShardOf(k, n)))
-				bad = true
-				return false
-			}
-			return true
-		})
-		if bad {
+		m, ok := readShardMap(rd, uint32(i), n)
+		if !ok {
 			break
 		}
 		s.shards[i] = m
@@ -391,6 +425,58 @@ func RestoreSharded(r io.Reader) (*ShardedStore, error) {
 	rd.ExpectEOF()
 	if err := rd.Err(); err != nil {
 		return nil, fmt.Errorf("kv: restore: %w", err)
+	}
+	return s, nil
+}
+
+// readShardMap reads one shard's canonical stream and validates every key's
+// placement against the declared partition. Failures are annotated with the
+// shard index so a truncated multi-shard stream reports exactly where it
+// broke.
+func readShardMap(rd *wire.Reader, shard, shards uint32) (*champ.Map, bool) {
+	m := readMap(rd)
+	if rd.Err() != nil {
+		rd.Annotate("shard %d of %d", shard, shards)
+		return nil, false
+	}
+	ok := true
+	m.Range(func(k string, _ []byte) bool {
+		if champ.ShardOf(k, shards) != shard {
+			rd.Fail(fmt.Errorf("%w: key %q in shard %d, belongs to %d", wire.ErrCorrupt, k, shard, champ.ShardOf(k, shards)))
+			ok = false
+			return false
+		}
+		return true
+	})
+	return m, ok
+}
+
+// NewShardedFromChunks assembles a store from per-shard state-transfer
+// chunks, one chunk per shard in shard order — the receiving half of
+// SerializeShard. Each chunk must decode exactly (trailing bytes rejected)
+// and every key must belong to its chunk's shard. The caller is expected to
+// have verified each chunk's bytes against the signed d_C's shard digest
+// vector first; the placement check here makes a lying chunk that passes a
+// stolen digest impossible to combine into a structurally valid store.
+func NewShardedFromChunks(shards uint32, chunks [][]byte) (*ShardedStore, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("kv: restore: %w: shard count %d", wire.ErrCorrupt, shards)
+	}
+	if uint32(len(chunks)) != shards {
+		return nil, fmt.Errorf("kv: restore: %w: %d chunks for %d shards", wire.ErrCorrupt, len(chunks), shards)
+	}
+	s := NewSharded(int(shards))
+	for i, chunk := range chunks {
+		rd := wire.NewBytesReader(chunk)
+		m, ok := readShardMap(rd, uint32(i), shards)
+		if ok {
+			rd.ExpectEOF()
+			rd.Annotate("shard %d of %d", i, shards)
+		}
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("kv: restore: %w", err)
+		}
+		s.shards[i] = m
 	}
 	return s, nil
 }

@@ -202,5 +202,8 @@ func (l *Ledger) ApplyBatch(b *Batch) (*BatchHeader, error) {
 	// the caller and treated as immutable, like Batches().
 	l.batches = append(l.batches, &Batch{Header: own, Entries: b.Entries})
 	l.nextSeq = seq + 1
+	if ckptDue {
+		l.captureCheckpoint(seq)
+	}
 	return &own, nil
 }

@@ -1,0 +1,188 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"iaccf/internal/hashsig"
+)
+
+// runBatches executes n simple two-request batches and returns the ledger's
+// retained stream (full, since nothing is pruned during execution).
+func runBatches(t *testing.T, l *Ledger, n uint64) {
+	t.Helper()
+	for seq := l.Seq(); seq < n+1; seq++ {
+		if _, _, err := l.ExecuteBatch([]Request{
+			putReq("alice", seq, fmt.Sprintf("a%d", seq), "x"),
+			putReq("bob", seq, "shared", fmt.Sprintf("%d", seq)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPruneBoundsRetention(t *testing.T) {
+	l := newTestLedger(t, 2)
+	runBatches(t, l, 6)
+	if got := l.FirstRetainedSeq(); got != 1 {
+		t.Fatalf("fresh ledger first retained %d, want 1", got)
+	}
+	before, root := l.RetainedBatches(), l.HistRoot()
+
+	l.Prune(5)
+	if got := l.FirstRetainedSeq(); got != 5 {
+		t.Fatalf("first retained %d after Prune(5), want 5", got)
+	}
+	if got := l.RetainedBatches(); got != 2 {
+		t.Fatalf("retained %d batches, want 2 (had %d)", got, before)
+	}
+	if l.BatchAt(4) != nil {
+		t.Fatal("pruned batch 4 still served")
+	}
+	if l.BatchAt(5) == nil || l.BatchAt(6) == nil {
+		t.Fatal("retained suffix lost")
+	}
+	// Checkpoint records below the boundary are gone; the one at the
+	// boundary (seq 4 = baseSeq) survives to serve state transfer.
+	if ck := l.CheckpointAt(6); ck == nil || ck.Seq != 6 {
+		t.Fatal("latest checkpoint lost")
+	}
+	// Compacting history must not move the root, and execution continues.
+	if l.HistRoot() != root {
+		t.Fatal("prune changed the history root")
+	}
+	runBatches(t, l, 7)
+	if l.BatchAt(7) == nil {
+		t.Fatal("execution broken after prune")
+	}
+	// Pruning is idempotent and ignores boundaries at or below base.
+	l.Prune(3)
+	if got := l.FirstRetainedSeq(); got != 5 {
+		t.Fatalf("backwards prune moved the boundary to %d", got)
+	}
+}
+
+func TestPruneBadBoundaryPanics(t *testing.T) {
+	l := newTestLedger(t, 2)
+	runBatches(t, l, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("prune beyond next seq did not panic")
+		}
+	}()
+	l.Prune(99)
+}
+
+func TestRollbackBelowPrunedBoundary(t *testing.T) {
+	l := newTestLedger(t, 2)
+	runBatches(t, l, 6)
+	l.Prune(5)
+	err := l.RollbackTo(3)
+	if err == nil {
+		t.Fatal("rollback below the pruned boundary succeeded")
+	}
+	if !errors.Is(err, ErrPruned) {
+		t.Fatalf("rollback error %v, want ErrPruned", err)
+	}
+	// At the boundary itself the marks are gone too: baseSeq is 4, and
+	// rolling back TO seq 4 would need batch 4's pre-state.
+	if err := l.RollbackTo(4); !errors.Is(err, ErrPruned) {
+		t.Fatalf("rollback to the boundary: %v, want ErrPruned", err)
+	}
+	// Above the boundary rollback still works.
+	if err := l.RollbackTo(6); err != nil {
+		t.Fatalf("rollback inside the retained suffix: %v", err)
+	}
+	if l.Seq() != 6 {
+		t.Fatalf("next seq %d after rollback to 6", l.Seq())
+	}
+}
+
+func TestNewFromCheckpointResumes(t *testing.T) {
+	l := newTestLedger(t, 2)
+	runBatches(t, l, 6)
+	ck := l.CheckpointAt(4)
+	if ck == nil || ck.Seq != 4 {
+		t.Fatalf("no checkpoint at 4: %+v", ck)
+	}
+	cand, err := NewFromCheckpoint(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 2}, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Seq() != 5 {
+		t.Fatalf("resumed ledger proposes %d, want 5", cand.Seq())
+	}
+	if got := cand.RetainedBatches(); got != 0 {
+		t.Fatalf("resumed ledger retains %d batches", got)
+	}
+	for seq := uint64(5); seq <= 6; seq++ {
+		if _, err := cand.ApplyBatch(l.BatchAt(seq)); err != nil {
+			t.Fatalf("apply suffix batch %d: %v", seq, err)
+		}
+	}
+	if cand.HistRoot() != l.HistRoot() || cand.HistSize() != l.HistSize() {
+		t.Fatal("resumed ledger's ¯M diverges from the original")
+	}
+	if cand.StateDigest() != l.StateDigest() {
+		t.Fatal("resumed ledger's state diverges from the original")
+	}
+	// Shard-count mismatch is rejected up front.
+	if _, err := NewFromCheckpoint(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 2, Shards: 4}, ck); err == nil {
+		t.Fatal("checkpoint with 1 shard accepted by a 4-shard config")
+	}
+}
+
+// TestReplayFromMatchesFullReplay is the audit-equivalence property
+// (paper §3.4, §5): resuming verification from any retained checkpoint must
+// accept exactly the streams a from-genesis replay accepts and reach the
+// same summary, across shard counts.
+func TestReplayFromMatchesFullReplay(t *testing.T) {
+	pool := hashsig.NewVerifierPool(4)
+	defer pool.Close()
+	for _, shards := range []uint32{1, 4, 16} {
+		l, err := New(Config{Key: testKey, App: KVApp{}, CheckpointEvery: 3, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBatches(t, l, 8)
+		full, err := Replay(l.Batches(), testKey.Public(), KVApp{}, pool)
+		if err != nil {
+			t.Fatalf("shards %d: full replay: %v", shards, err)
+		}
+		for _, ckSeq := range []uint64{3, 6} {
+			ck := l.CheckpointAt(ckSeq)
+			if ck == nil || ck.Seq != ckSeq {
+				t.Fatalf("shards %d: no checkpoint at %d", shards, ckSeq)
+			}
+			var suffix []*Batch
+			for seq := ckSeq + 1; seq <= 8; seq++ {
+				suffix = append(suffix, l.BatchAt(seq))
+			}
+			got, err := ReplayFrom(ck, suffix, testKey.Public(), KVApp{}, pool)
+			if err != nil {
+				t.Fatalf("shards %d ckpt %d: ReplayFrom: %v", shards, ckSeq, err)
+			}
+			if got.HistRoot != full.HistRoot || got.HistSize != full.HistSize {
+				t.Fatalf("shards %d ckpt %d: resumed ¯M diverges from full replay", shards, ckSeq)
+			}
+			if got.StateDigest != full.StateDigest {
+				t.Fatalf("shards %d ckpt %d: resumed state diverges from full replay", shards, ckSeq)
+			}
+			if got.Shards != full.Shards || got.CkptDigest != full.CkptDigest {
+				t.Fatalf("shards %d ckpt %d: resumed summary diverges from full replay", shards, ckSeq)
+			}
+			// A tampered suffix is rejected from a checkpoint exactly as it
+			// is from genesis.
+			bad := deepCopyBatches(suffix)
+			bad[len(bad)-1].Entries[0].Payload[0] ^= 0xff
+			if _, err := ReplayFrom(ck, bad, testKey.Public(), KVApp{}, pool); err == nil {
+				t.Fatalf("shards %d ckpt %d: tampered suffix accepted", shards, ckSeq)
+			}
+			// A suffix that does not start at ck.Seq+1 is rejected.
+			if _, err := ReplayFrom(ck, suffix[1:], testKey.Public(), KVApp{}, pool); err == nil {
+				t.Fatalf("shards %d ckpt %d: gapped suffix accepted", shards, ckSeq)
+			}
+		}
+	}
+}

@@ -30,6 +30,26 @@
 // These rules, plus the determinism requirements (no map-order bytes, no
 // wall clocks or unseeded randomness), are enforced statically by the
 // iaccfvet analyzers — see internal/analysis/README.md.
+//
+// # Pruning boundary invariant
+//
+// Prune(before) establishes a pruned boundary baseSeq = before-1: batches
+// at or below it are dropped, the history tree is compacted past their
+// leaves (only the peak summary survives), and their rollback marks are
+// discarded. Everything above the boundary behaves exactly as before —
+// BatchAt, RollbackTo, ApplyBatch, re-acks. At or below it, BatchAt
+// returns nil and RollbackTo fails with ErrPruned (wrapped, so
+// errors.Is(err, ErrPruned) routes a consensus view change into state
+// transfer instead of a crash). Callers must maintain: the boundary never
+// exceeds the latest checkpoint boundary (CheckpointAt(committed) stays
+// non-nil once a checkpoint committed, so the retained checkpoint plus the
+// retained batch suffix always reconstruct the present state), and never
+// exceeds the consensus commit watermark (uncommitted batches must stay
+// rollbackable per Lemma 1). Under the consensus prune policy —
+// min(latest committed checkpoint + 1, committed − W + 1) — the retained
+// batch count is bounded by max(CheckpointEvery − 1, W) committed batches
+// plus at most W speculative ones: steady-state memory is
+// O(window + checkpoint interval) regardless of ledger length.
 package ledger
 
 import (
@@ -51,6 +71,10 @@ var (
 	ErrUnknownSeq = errors.New("ledger: unknown batch sequence number")
 	// ErrBadBatch reports a malformed batch on decode.
 	ErrBadBatch = errors.New("ledger: malformed batch")
+	// ErrPruned reports an operation on a batch at or below the pruned
+	// checkpoint boundary: the batch and its rollback mark no longer exist.
+	// Consensus treats it as the signal to re-sync via state transfer.
+	ErrPruned = errors.New("ledger: sequence below the pruned checkpoint boundary")
 )
 
 // MaxRequestLen bounds request bodies accepted for execution. It sits far
@@ -228,8 +252,16 @@ type Ledger struct {
 	nextSeq  uint64
 	lastCkpt hashsig.Digest
 	marks    []ledgerMark
-	batches  []*Batch
-	scratch  execScratch
+	// baseSeq is the pruned boundary: batches[0] (if any) has sequence
+	// number baseSeq+1. Zero until the first Prune (or the checkpoint seq
+	// after NewFromCheckpoint); see the package doc's pruning invariant.
+	baseSeq uint64
+	batches []*Batch
+	// ckpts are the retained checkpoint materializations, ascending by Seq
+	// (speculative ones included; rollback discards them). Prune keeps only
+	// those at or above the boundary.
+	ckpts   []*Checkpoint
+	scratch execScratch
 }
 
 // execScratch is per-batch working storage handed batch to batch: the
@@ -335,15 +367,17 @@ func (l *Ledger) Batches() []*Batch {
 }
 
 // BatchAt returns the stored batch for seq, or nil when seq is out of
-// range. The retained stream is contiguous from seq 1 (rollbacks truncate
-// a suffix), so this is index arithmetic — hot paths (consensus re-acks
-// answering from storage) must not pay Batches()'s slice copy per lookup.
-// The result is shared and must be treated as immutable, like Batches.
+// range — above the retained stream or at/below the pruned boundary. The
+// retained stream is contiguous from baseSeq+1 (rollbacks truncate a
+// suffix, Prune drops a prefix), so this is index arithmetic — hot paths
+// (consensus re-acks answering from storage) must not pay Batches()'s
+// slice copy per lookup. The result is shared and must be treated as
+// immutable, like Batches.
 func (l *Ledger) BatchAt(seq uint64) *Batch {
-	if seq == 0 || seq > uint64(len(l.batches)) {
+	if seq <= l.baseSeq || seq > l.baseSeq+uint64(len(l.batches)) {
 		return nil
 	}
-	return l.batches[seq-1]
+	return l.batches[seq-l.baseSeq-1]
 }
 
 // entryShard deterministically assigns a ledger entry to a per-shard batch
@@ -506,6 +540,9 @@ func (l *Ledger) ExecuteBatch(reqs []Request) (*Batch, []Receipt, error) {
 	}
 	l.batches = append(l.batches, batch)
 	l.nextSeq = seq + 1
+	if seq%l.cfg.CheckpointEvery == 0 {
+		l.captureCheckpoint(seq)
+	}
 	return batch, receipts, nil
 }
 
@@ -564,8 +601,13 @@ func (l *Ledger) runSequential(reqs []Request, entries []Entry, digests, leaves 
 // RollbackTo undoes batch seq and everything after it, restoring the store,
 // the history tree, and the checkpoint digest to the state just before
 // batch seq executed (Lemma 1). The next executed batch reuses sequence
-// number seq.
+// number seq. A rollback at or below the pruned boundary fails with a
+// wrapped ErrPruned: the batches and marks below a pruned checkpoint no
+// longer exist, so the caller must re-sync via state transfer instead.
 func (l *Ledger) RollbackTo(seq uint64) error {
+	if seq <= l.baseSeq {
+		return fmt.Errorf("%w: rollback to %d, boundary %d", ErrPruned, seq, l.baseSeq)
+	}
 	i := len(l.marks) - 1
 	for ; i >= 0; i-- {
 		if l.marks[i].seq == seq {
@@ -588,6 +630,11 @@ func (l *Ledger) RollbackTo(seq uint64) error {
 	l.marks = l.marks[:i]
 	for len(l.batches) > 0 && l.batches[len(l.batches)-1].Header.Seq >= seq {
 		l.batches = l.batches[:len(l.batches)-1]
+	}
+	// Checkpoint materializations taken at or beyond the rollback point
+	// describe undone state.
+	for len(l.ckpts) > 0 && l.ckpts[len(l.ckpts)-1].Seq >= seq {
+		l.ckpts = l.ckpts[:len(l.ckpts)-1]
 	}
 	l.nextSeq = seq
 	return nil

@@ -40,23 +40,68 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 	if app == nil {
 		return nil, ErrConfig
 	}
-	// The execution configuration must be coherent before anything is
-	// re-executed: one shard count, declared by every header, within the
-	// store's limit.
-	shards := uint32(1)
+	shards, err := verifyStreamHeaders(batches, pub, pool, 0)
+	if err != nil {
+		return nil, err
+	}
+	var wantSeq uint64
+	if len(batches) > 0 {
+		wantSeq = batches[0].Header.Seq
+	}
+	return replayStream(kv.NewSharded(int(shards)), merkle.New(), hashsig.Digest{}, wantSeq, shards, batches, app)
+}
+
+// ReplayFrom re-executes a batch suffix resuming from a verified
+// checkpoint instead of genesis: the store starts as the checkpoint
+// snapshot and the history tree is restored from the frontier, so every
+// per-batch check — ¯G, ¯M, d_C, results, signatures — is exactly the one
+// a full-stream replay performs over the same suffix. The first batch must
+// have sequence number ck.Seq+1 and the stream's shard count must match
+// the checkpoint's. The checkpoint itself is re-verified: its snapshot
+// must hash to its claimed d_C, so a corrupted checkpoint record cannot
+// vouch for a suffix. The caller remains responsible for binding ck.Digest
+// to a signed header (paper §3.4); given that binding, a successful
+// ReplayFrom is equivalent evidence to a full replay.
+func ReplayFrom(ck *Checkpoint, batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.VerifierPool) (*ReplayResult, error) {
+	if app == nil || ck == nil {
+		return nil, ErrConfig
+	}
+	shards, err := verifyStreamHeaders(batches, pub, pool, ck.Store.ShardCount())
+	if err != nil {
+		return nil, err
+	}
+	store := ck.Store.Clone()
+	if got := store.CheckpointDigest(); got != ck.Digest {
+		return nil, fmt.Errorf("%w: checkpoint %d: snapshot digest mismatch", ErrReplay, ck.Seq)
+	}
+	hist, err := merkle.FromFrontier(ck.Frontier)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint %d: %v", ErrReplay, ck.Seq, err)
+	}
+	return replayStream(store, hist, ck.Digest, ck.Seq+1, shards, batches, app)
+}
+
+// verifyStreamHeaders checks the stream's structural coherence (one shard
+// count, declared by every header, within the store's limit — and matching
+// wantShards when non-zero) and verifies all header signatures up front as
+// one parallel batch: replay is the verification-heavy path the paper
+// parallelizes (§3.4).
+func verifyStreamHeaders(batches []*Batch, pub *hashsig.PublicKey, pool *hashsig.VerifierPool, wantShards uint32) (uint32, error) {
+	shards := wantShards
+	if shards == 0 {
+		shards = 1
+	}
 	for i, b := range batches {
-		if i == 0 {
+		if i == 0 && wantShards == 0 {
 			shards = b.Header.Shards
 			if shards < 1 || shards > kv.MaxShards {
-				return nil, fmt.Errorf("%w: batch %d: shard count %d", ErrReplay, b.Header.Seq, shards)
+				return 0, fmt.Errorf("%w: batch %d: shard count %d", ErrReplay, b.Header.Seq, shards)
 			}
 		} else if b.Header.Shards != shards {
-			return nil, fmt.Errorf("%w: batch %d: shard count %d, stream started with %d",
+			return 0, fmt.Errorf("%w: batch %d: shard count %d, stream expects %d",
 				ErrReplay, b.Header.Seq, b.Header.Shards, shards)
 		}
 	}
-	// Verify all header signatures up front as one parallel batch: replay
-	// is the verification-heavy path the paper parallelizes (§3.4).
 	tasks := make([]hashsig.VerifyTask, len(batches))
 	for i, b := range batches {
 		tasks[i] = hashsig.VerifyTask{Key: pub, Digest: b.Header.SigningDigest(), Sig: b.Header.Sig}
@@ -72,20 +117,21 @@ func Replay(batches []*Batch, pub *hashsig.PublicKey, app App, pool *hashsig.Ver
 	}
 	for i, ok := range oks {
 		if !ok {
-			return nil, fmt.Errorf("%w: batch %d: invalid header signature", ErrReplay, batches[i].Header.Seq)
+			return 0, fmt.Errorf("%w: batch %d: invalid header signature", ErrReplay, batches[i].Header.Seq)
 		}
 	}
+	return shards, nil
+}
 
-	store := kv.NewSharded(int(shards))
-	hist := merkle.New()
-	var lastCkpt hashsig.Digest
+// replayStream is the shared re-execution core behind Replay and
+// ReplayFrom: it drives batches through the given store and history tree
+// (fresh at genesis, or checkpoint-seeded) and checks every commitment.
+// wantSeq pins the first batch's sequence number.
+func replayStream(store *kv.ShardedStore, hist *merkle.Tree, lastCkpt hashsig.Digest,
+	wantSeq uint64, shards uint32, batches []*Batch, app App) (*ReplayResult, error) {
 	res := &ReplayResult{Shards: shards}
-	var wantSeq uint64
-	for bi, b := range batches {
+	for _, b := range batches {
 		seq := b.Header.Seq
-		if bi == 0 {
-			wantSeq = seq
-		}
 		if seq != wantSeq {
 			return nil, fmt.Errorf("%w: batch %d: expected sequence %d", ErrReplay, seq, wantSeq)
 		}

@@ -114,6 +114,12 @@ func DecodeFrontier(b []byte) (Frontier, error) {
 	}
 	f := Frontier{Size: binary.BigEndian.Uint64(b[0:8])}
 	n := binary.BigEndian.Uint32(b[8:12])
+	if n > 64 {
+		// A valid frontier has one peak per set bit of Size — at most 64. A
+		// hostile stream claiming more is rejected before the length check so
+		// the error names the actual lie.
+		return Frontier{}, fmt.Errorf("merkle: frontier claims %d peaks, maximum is 64", n)
+	}
 	if uint64(len(b)) != 12+uint64(n)*hashsig.DigestSize {
 		return Frontier{}, errors.New("merkle: frontier length mismatch")
 	}

@@ -36,6 +36,10 @@ const (
 	MaxKeyLen = 1 << 20
 	// MaxValueLen bounds key-value store values and ledger entry payloads.
 	MaxValueLen = 1 << 24
+	// MaxChunkLen bounds one state-transfer chunk payload: a single shard's
+	// canonical serialization or one batch's encoding, framed as an opaque
+	// byte field in sync messages.
+	MaxChunkLen = 1 << 26
 )
 
 // Batch-stream framing. Every serialized batch stream opens with a
@@ -427,6 +431,17 @@ func (r *Reader) ExpectEOF() {
 func (r *Reader) Fail(err error) {
 	if r.err == nil {
 		r.err = err
+	}
+}
+
+// Annotate wraps an already-recorded error with frame-position context
+// ("shard 3: entry 17 key: …"), preserving the wrapped chain so sentinel
+// checks like errors.Is(err, ErrCorrupt) keep working. A clean reader is
+// left untouched, so decoders can annotate unconditionally after each
+// frame boundary.
+func (r *Reader) Annotate(format string, args ...any) {
+	if r.err != nil {
+		r.err = fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), r.err)
 	}
 }
 
