@@ -101,6 +101,20 @@ var deterministicExempt = []string{
 	// The analysis tooling itself: drivers shell out, fixtures exercise the
 	// very patterns the analyzers forbid.
 	"iaccf/internal/analysis",
+	// The network transport: sockets, reconnect backoff, and write
+	// deadlines are wall-clock by nature. Nothing the transport computes
+	// feeds a replicated digest — frames are opaque bytes produced and
+	// consumed by the deterministic layers above it.
+	"iaccf/internal/transport",
+	// The node runtime: it owns the real clock (tick cadence, stall
+	// detection) and injects time into consensus only through the counted
+	// Tick/OnTimeout seam, so replica state stays a pure function of the
+	// delivered message sequence.
+	"iaccf/internal/node",
+	// The load generator: a client-side workload driver that measures
+	// wall-clock throughput and paces retries. It runs outside the
+	// replicas entirely; nothing it computes is replicated.
+	"iaccf/internal/loadgen",
 }
 
 // Deterministic reports whether pkgPath is part of the replicated

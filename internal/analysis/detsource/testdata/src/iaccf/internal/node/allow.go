@@ -1,0 +1,10 @@
+// Fixture loaded under the real node import path: the node runtime owns
+// the wall clock (tick cadence, stall detection) and is exempt from the
+// deterministic scope, so this must not fire.
+package node
+
+import "time"
+
+func stalled(last time.Time, patience time.Duration) bool {
+	return time.Since(last) > patience
+}

@@ -1,0 +1,17 @@
+// Fixture loaded under the real transport import path: the package is
+// carved out of the deterministic scope (sockets and reconnect backoff
+// are wall-clock by nature), so none of these may fire.
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+func deadline() time.Time {
+	return time.Now().Add(10 * time.Second)
+}
+
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)))
+}

@@ -1,0 +1,10 @@
+// Fixture proving the exemption is an exact subtree, not a string prefix:
+// "transportx" is not "transport" or below it, so the deterministic scope
+// still applies and the wall clock fires.
+package transportx
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}

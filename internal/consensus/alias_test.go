@@ -45,7 +45,9 @@ func TestEncodedFramesSurvivePoolReuse(t *testing.T) {
 				}
 				for _, r := range c.replicas {
 					out, _ := r.Handle(dm)
-					next = append(next, out...)
+					for _, o := range out {
+						next = append(next, o.Msg)
+					}
 				}
 			}
 			pending = next

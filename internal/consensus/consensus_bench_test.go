@@ -159,7 +159,7 @@ func benchCommitKeyed(b *testing.B, batchSize, window int, shards uint32, mkReq 
 			frames = frames[:0]
 			for _, r := range replicas {
 				for _, o := range r.HandleAll(msgs) {
-					frames = append(frames, EncodeMessage(o))
+					frames = append(frames, EncodeMessage(o.Msg))
 				}
 			}
 		}
@@ -257,7 +257,7 @@ func BenchmarkConsensusBoundedMemory(b *testing.B) {
 			frames = frames[:0]
 			for _, r := range replicas {
 				for _, o := range r.HandleAll(msgs) {
-					frames = append(frames, EncodeMessage(o))
+					frames = append(frames, EncodeMessage(o.Msg))
 				}
 			}
 		}

@@ -11,12 +11,25 @@ import (
 )
 
 // cluster is a set of replicas plus a flood-delivery helper: every outbound
-// message is broadcast to every replica in FIFO order until quiescence.
+// message is delivered to every replica in FIFO order until quiescence.
+// Flood delivery is deliberately a superset of envelope routing — handlers
+// ignore misaddressed unicast traffic — so the helper strips the Outbound
+// addressing; the sim harness is where Dest is honored and asserted.
 type cluster struct {
 	t        *testing.T
 	replicas []*Replica
 	keys     []*hashsig.PrivateKey
 	queue    []Message
+}
+
+// outMsgs strips the addressing off a batch of envelopes for flood-style
+// delivery.
+func outMsgs(outs []Outbound) []Message {
+	msgs := make([]Message, 0, len(outs))
+	for _, o := range outs {
+		msgs = append(msgs, o.Msg)
+	}
+	return msgs
 }
 
 func newCluster(t *testing.T, n int, shards uint32) *cluster {
@@ -60,7 +73,7 @@ func (c *cluster) flood(skip ...ReplicaID) {
 				continue
 			}
 			out, _ := r.Handle(m)
-			c.queue = append(c.queue, out...)
+			c.queue = append(c.queue, outMsgs(out)...)
 		}
 	}
 }
@@ -166,8 +179,8 @@ func TestLaggardCatchesUpFromBroadcasts(t *testing.T) {
 			c.queue = c.queue[1:]
 			for _, r := range c.replicas[:3] {
 				out, _ := r.Handle(m)
-				c.queue = append(c.queue, out...)
-				held = append(held, out...)
+				c.queue = append(c.queue, outMsgs(out)...)
+				held = append(held, outMsgs(out)...)
 			}
 		}
 	}
@@ -177,7 +190,7 @@ func TestLaggardCatchesUpFromBroadcasts(t *testing.T) {
 	}
 	for _, m := range held {
 		if out, _ := c.replicas[3].Handle(m); len(out) > 0 {
-			c.queue = append(c.queue, out...)
+			c.queue = append(c.queue, outMsgs(out)...)
 		}
 	}
 	c.flood()
@@ -219,8 +232,8 @@ func TestEquivocatingPrimaryYieldsBlame(t *testing.T) {
 	}
 	// Replica 2 now receives replica 1's prepare, which carries the
 	// conflicting primary-signed proposal: blame must appear.
-	for _, m := range outA {
-		c.replicas[2].Handle(m)
+	for _, o := range outA {
+		c.replicas[2].Handle(o.Msg)
 	}
 	ev := c.replicas[2].Evidence()
 	if len(ev) != 1 {
@@ -297,7 +310,7 @@ func TestViewChangeRecoversLiveness(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []int{1, 2, 3} {
-		c.queue = append(c.queue, c.replicas[id].OnTimeout()...)
+		c.queue = append(c.queue, outMsgs(c.replicas[id].OnTimeout())...)
 	}
 	c.flood(0) // old primary stays silent
 	for _, id := range []int{1, 2, 3} {
@@ -334,15 +347,15 @@ func TestPreparedBatchSurvivesViewChange(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prepares = append(prepares, out...)
+		prepares = append(prepares, outMsgs(out)...)
 	}
 	var commits []Message
 	for _, m := range prepares {
 		for _, id := range []int{1, 2, 3} {
 			out, _ := c.replicas[id].Handle(m)
 			for _, o := range out {
-				if _, ok := o.(*Commit); ok {
-					commits = append(commits, o)
+				if _, ok := o.Msg.(*Commit); ok {
+					commits = append(commits, o.Msg)
 					continue
 				}
 			}
@@ -355,7 +368,7 @@ func TestPreparedBatchSurvivesViewChange(t *testing.T) {
 	// view 1 with the same header commitments.
 	wantDigest := pp.Prop.Header.SigningDigest()
 	for _, id := range []int{1, 2, 3} {
-		c.queue = append(c.queue, c.replicas[id].OnTimeout()...)
+		c.queue = append(c.queue, outMsgs(c.replicas[id].OnTimeout())...)
 	}
 	c.flood(0)
 	c.assertAgreement(1, 1, 2, 3)
@@ -379,13 +392,13 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	msgs := []Message{pp}
-	msgs = append(msgs, out1...)
+	msgs = append(msgs, outMsgs(out1)...)
 	msgs = append(msgs, &Commit{
 		View: 1, Replica: 2, Seq: 9,
 		HeaderDigest: hashsig.Sum([]byte("h")),
 		Nonce:        hashsig.NonceFromSeed("n"),
 	})
-	msgs = append(msgs, c.replicas[2].OnTimeout()...)
+	msgs = append(msgs, outMsgs(c.replicas[2].OnTimeout())...)
 	for i, m := range msgs {
 		enc := EncodeMessage(m)
 		dec, err := DecodeMessage(enc)

@@ -1,0 +1,39 @@
+package consensus
+
+// Outbound is one addressed protocol message: what a replica wants sent and
+// to whom. Dest is either a single peer or the Broadcast sentinel. The
+// envelope is what makes a real transport honest about traffic: core
+// protocol messages (pre-prepares, prepares, commits, view changes) need
+// every replica to see them — quorums form from everyone's endorsements —
+// but state-transfer offers and chunks are strictly pairwise, and shipping
+// a multi-megabyte checkpoint chunk to n-1 replicas because the API could
+// not say "just the requester" would multiply sync bandwidth by the cluster
+// size.
+type Outbound struct {
+	// Dest is the receiving replica, or Broadcast for every peer. A replica
+	// never addresses itself; transports must not loop messages back.
+	Dest ReplicaID
+	// Msg is the protocol message to deliver.
+	Msg Message
+}
+
+// Broadcast is the Dest sentinel addressing every peer (never a valid
+// ReplicaID: configurations are bounded by maxPreparedClaims peers, far
+// below it).
+const Broadcast = ^ReplicaID(0)
+
+// IsBroadcast reports whether the envelope addresses every peer.
+func (o Outbound) IsBroadcast() bool { return o.Dest == Broadcast }
+
+// toAll wraps a message for every peer.
+func toAll(m Message) Outbound { return Outbound{Dest: Broadcast, Msg: m} }
+
+// toPeer wraps a message for exactly one peer.
+func toPeer(dest ReplicaID, m Message) Outbound { return Outbound{Dest: dest, Msg: m} }
+
+// broadcastAll appends every message as a broadcast envelope.
+func broadcastAll(out *[]Outbound, msgs []Message) {
+	for _, m := range msgs {
+		*out = append(*out, toAll(m))
+	}
+}

@@ -120,7 +120,8 @@ func (in *instance) openedQuorum() int {
 // Replica is one L-PBFT replica: a ledger plus the protocol state machine.
 // It is single-threaded, like the replica loop it models: callers feed it
 // one message (Handle) or one batch of messages (HandleAll) at a time and
-// broadcast whatever it returns.
+// route the addressed envelopes it returns — Broadcast envelopes to every
+// peer, unicast envelopes to exactly their Dest.
 type Replica struct {
 	cfg    Config
 	n      int
@@ -402,11 +403,11 @@ func (r *Replica) proposeBatch(batch *ledger.Batch) *PrePrepare {
 	return pp
 }
 
-// Handle processes one message and returns the messages to broadcast in
-// response. Invalid messages return ErrInvalid-wrapped errors and change no
-// state; stale or not-yet-processable messages return nil.
-func (r *Replica) Handle(m Message) ([]Message, error) {
-	var out []Message
+// Handle processes one message and returns the addressed envelopes to send
+// in response. Invalid messages return ErrInvalid-wrapped errors and change
+// no state; stale or not-yet-processable messages return nil.
+func (r *Replica) Handle(m Message) ([]Outbound, error) {
+	var out []Outbound
 	before := r.gen
 	err := r.handle(m, &out)
 	if r.gen != before {
@@ -418,7 +419,7 @@ func (r *Replica) Handle(m Message) ([]Message, error) {
 
 // drainFuture re-feeds buffered messages for as long as doing so advances
 // the replica. Messages that are still premature re-buffer themselves.
-func (r *Replica) drainFuture(out *[]Message) {
+func (r *Replica) drainFuture(out *[]Outbound) {
 	for {
 		if len(r.future) == 0 {
 			return
@@ -452,7 +453,7 @@ func (r *Replica) buffer(m Message) {
 	r.future = append(r.future, m)
 }
 
-func (r *Replica) handle(m Message, out *[]Message) error {
+func (r *Replica) handle(m Message, out *[]Outbound) error {
 	switch msg := m.(type) {
 	case *PrePrepare:
 		return r.handlePrePrepare(msg, out)
@@ -536,7 +537,7 @@ func (r *Replica) instanceAt(seq uint64) *instance {
 	return r.reacks[seq]
 }
 
-func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
+func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Outbound) error {
 	prop := &pp.Prop
 	if err := r.validateProposal(prop); err != nil {
 		return err
@@ -630,7 +631,7 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 		prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
 		in.ownPrepare = prep
 		in.prepMsgs[r.cfg.ID] = prep
-		*out = append(*out, prep)
+		*out = append(*out, toAll(prep))
 	}
 	r.checkPrepared(in, out)
 	r.advanceCommits(out)
@@ -640,7 +641,7 @@ func (r *Replica) handlePrePrepare(pp *PrePrepare, out *[]Message) error {
 // startReack opens a participation-only instance for a batch this replica
 // already committed, so replicas that missed the original round can gather
 // a quorum in the new view.
-func (r *Replica) startReack(pp *PrePrepare, out *[]Message) error {
+func (r *Replica) startReack(pp *PrePrepare, out *[]Outbound) error {
 	seq := pp.Prop.Seq()
 	digest := pp.Prop.Header.SigningDigest()
 	ownBatch := r.committedBatch(seq)
@@ -669,7 +670,7 @@ func (r *Replica) startReack(pp *PrePrepare, out *[]Message) error {
 	prep.Sig = r.cfg.Key.MustSign(prep.SigningDigest())
 	in.ownPrepare = prep
 	in.prepMsgs[r.cfg.ID] = prep
-	*out = append(*out, prep)
+	*out = append(*out, toAll(prep))
 	r.checkPrepared(in, out)
 	return nil
 }
@@ -716,7 +717,7 @@ func (r *Replica) abandonFrom(seq uint64) {
 	r.gen++
 }
 
-func (r *Replica) handlePrepare(p *Prepare, out *[]Message) error {
+func (r *Replica) handlePrepare(p *Prepare, out *[]Outbound) error {
 	prop := &p.Prop
 	if err := r.proposalStructure(prop); err != nil {
 		return err
@@ -757,7 +758,7 @@ func (r *Replica) handlePrepare(p *Prepare, out *[]Message) error {
 	return nil
 }
 
-func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
+func (r *Replica) handleCommit(c *Commit, out *[]Outbound) error {
 	if int(c.Replica) >= r.n {
 		return fmt.Errorf("%w: commit from %d", ErrInvalid, c.Replica)
 	}
@@ -802,7 +803,7 @@ func (r *Replica) handleCommit(c *Commit, out *[]Message) error {
 // checkPrepared fires once 2f+1 distinct replicas back the instance's
 // proposal: the replica reveals its nonce in an unsigned commit message
 // (Lemma 3).
-func (r *Replica) checkPrepared(in *instance, out *[]Message) {
+func (r *Replica) checkPrepared(in *instance, out *[]Outbound) {
 	if in == nil || in.preparedCert || in.passive || in.endorsers() < r.quorum {
 		return
 	}
@@ -816,7 +817,7 @@ func (r *Replica) checkPrepared(in *instance, out *[]Message) {
 	}
 	in.ownCommit = cm
 	in.opens[r.cfg.ID] = in.nonce
-	*out = append(*out, cm)
+	*out = append(*out, toAll(cm))
 }
 
 // advanceCommits applies every completion the window allows, strictly in
@@ -825,7 +826,7 @@ func (r *Replica) checkPrepared(in *instance, out *[]Message) {
 // Quorums that completed out of order simply wait here, fully buffered,
 // until their predecessors commit. A completed re-ack is dropped (its
 // batch was already committed).
-func (r *Replica) advanceCommits(out *[]Message) {
+func (r *Replica) advanceCommits(out *[]Outbound) {
 	progressed := false
 	for {
 		seq := r.committed + 1
@@ -908,7 +909,7 @@ func (r *Replica) retainOwn(seq uint64, in *instance) {
 // OnTimeout abandons the current view and broadcasts a view change for the
 // next one. Callers invoke it when progress has stalled; repeated calls
 // escalate the target view.
-func (r *Replica) OnTimeout() []Message {
+func (r *Replica) OnTimeout() []Outbound {
 	target := r.view + 1
 	if r.inViewChange && r.vcTarget >= target {
 		target = r.vcTarget + 1
@@ -920,7 +921,7 @@ func (r *Replica) OnTimeout() []Message {
 // carrying a prepared claim for every in-window instance that reached its
 // prepare quorum (quorums can form out of order, so the claims may be
 // non-contiguous).
-func (r *Replica) startViewChange(target uint64) []Message {
+func (r *Replica) startViewChange(target uint64) []Outbound {
 	r.inViewChange = true
 	r.vcTarget = target
 	r.gen++
@@ -944,7 +945,7 @@ func (r *Replica) startViewChange(target uint64) []Message {
 	vc.Sig = r.cfg.Key.MustSign(vc.SigningDigest())
 	r.ownVC = vc
 	r.recordViewChange(vc)
-	out := []Message{vc}
+	out := []Outbound{toAll(vc)}
 	r.maybeEmitNewView(target, &out)
 	return out
 }
@@ -1040,7 +1041,7 @@ func (r *Replica) recordViewChange(vc *ViewChange) {
 // so anything far beyond is a Byzantine attempt to grow the vcs map.
 const maxViewAhead = 64
 
-func (r *Replica) handleViewChange(vc *ViewChange, out *[]Message) error {
+func (r *Replica) handleViewChange(vc *ViewChange, out *[]Outbound) error {
 	if vc.NewView <= r.view {
 		return nil
 	}
@@ -1070,7 +1071,7 @@ func (r *Replica) handleViewChange(vc *ViewChange, out *[]Message) error {
 
 // maybeEmitNewView builds and broadcasts the new-view certificate once this
 // replica is the target view's primary and holds a quorum of view-changes.
-func (r *Replica) maybeEmitNewView(v uint64, out *[]Message) {
+func (r *Replica) maybeEmitNewView(v uint64, out *[]Outbound) {
 	if r.primaryOf(v) != r.cfg.ID || v <= r.view {
 		return
 	}
@@ -1084,11 +1085,11 @@ func (r *Replica) maybeEmitNewView(v uint64, out *[]Message) {
 	}
 	nv.Sig = r.cfg.Key.MustSign(nv.SigningDigest())
 	r.lastNewView = nv
-	*out = append(*out, nv)
+	*out = append(*out, toAll(nv))
 	r.enterView(nv, out)
 }
 
-func (r *Replica) handleNewView(nv *NewView, out *[]Message) error {
+func (r *Replica) handleNewView(nv *NewView, out *[]Outbound) error {
 	if nv.View <= r.view {
 		return nil
 	}
@@ -1130,7 +1131,7 @@ func (r *Replica) handleNewView(nv *NewView, out *[]Message) error {
 // passive catch-up instances (their openings may still complete them);
 // conflicting re-proposals in the new view replace them, rolling the
 // speculation back at that point (Lemma 1).
-func (r *Replica) enterView(nv *NewView, out *[]Message) {
+func (r *Replica) enterView(nv *NewView, out *[]Outbound) {
 	v := nv.View
 	maxCommitted := uint64(0)
 	for i := range nv.VCs {
@@ -1216,7 +1217,7 @@ func (r *Replica) enterView(nv *NewView, out *[]Message) {
 // window, it is the new primary's catch-up offer to laggards that fell
 // behind by more than one batch — the boundary batch alone would buffer
 // unusably on any replica whose ledger is further back.
-func (r *Replica) reproposeCommittedWindow(out *[]Message) {
+func (r *Replica) reproposeCommittedWindow(out *[]Outbound) {
 	if r.committed == 0 {
 		return
 	}
@@ -1226,7 +1227,7 @@ func (r *Replica) reproposeCommittedWindow(out *[]Message) {
 	}
 	for seq := lo; seq <= r.committed; seq++ {
 		if b := r.led.BatchAt(seq); b != nil {
-			*out = append(*out, r.proposeBatch(b))
+			*out = append(*out, toAll(r.proposeBatch(b)))
 		}
 	}
 }
@@ -1236,7 +1237,7 @@ func (r *Replica) reproposeCommittedWindow(out *[]Message) {
 // (deterministic re-execution reproduces every header commitment). If the
 // primary is still behind the chain's start it parks the chain and resumes
 // as soon as it catches up.
-func (r *Replica) reproposeChain(chain []*PrePrepare, out *[]Message) {
+func (r *Replica) reproposeChain(chain []*PrePrepare, out *[]Outbound) {
 	for len(chain) > 0 && chain[0].Prop.Seq() <= r.committed {
 		chain = chain[1:] // already committed here
 	}
@@ -1263,37 +1264,44 @@ func (r *Replica) reproposeChain(chain []*PrePrepare, out *[]Message) {
 			return
 		}
 		delete(r.mustRepropose, pp.Prop.Seq())
-		*out = append(*out, r.proposeBatch(&ledger.Batch{Header: *ownHeader, Entries: batch.Entries}))
+		*out = append(*out, toAll(r.proposeBatch(&ledger.Batch{Header: *ownHeader, Entries: batch.Entries})))
 	}
 }
 
 // Retransmit returns this replica's current outbound state — the messages a
-// peer would need if earlier deliveries were lost. The simulation harness
-// calls it to model timeout-driven resends.
-func (r *Replica) Retransmit() []Message {
-	var out []Message
+// peer would need if earlier deliveries were lost. Harness and transport
+// call it to model timeout-driven resends. Everything here is broadcast:
+// own protocol messages and re-ack resupply feed every peer's quorum
+// formation (a committed replica's prepares count toward others' endorser
+// tallies), unlike the pairwise sync chunk traffic.
+func (r *Replica) Retransmit() []Outbound {
+	var msgs []Message
 	if r.inViewChange {
 		if r.ownVC != nil {
-			out = append(out, r.ownVC)
+			msgs = append(msgs, r.ownVC)
 		}
+		var out []Outbound
+		broadcastAll(&out, msgs)
 		return out
 	}
 	if r.lastNewView != nil && r.lastNewView.View == r.view {
-		out = append(out, r.lastNewView)
+		msgs = append(msgs, r.lastNewView)
 	}
 	for _, seq := range sortedKeys(r.insts) {
-		r.retransmitInstance(r.insts[seq], &out)
+		r.retransmitInstance(r.insts[seq], &msgs)
 	}
 	for _, seq := range sortedKeys(r.reacks) {
-		r.retransmitInstance(r.reacks[seq], &out)
+		r.retransmitInstance(r.reacks[seq], &msgs)
 	}
 	// Re-emit the window's worth of committed-instance messages: between
 	// them, 2f+1 replicas resupply the pre-prepares, commitments, and
 	// openings a laggard needs to passively re-commit the batches it
 	// missed, however deep inside the last window it fell behind.
 	for _, seq := range sortedKeys(r.recentOwn) {
-		out = append(out, r.recentOwn[seq]...)
+		msgs = append(msgs, r.recentOwn[seq]...)
 	}
+	var out []Outbound
+	broadcastAll(&out, msgs)
 	return out
 }
 

@@ -6,8 +6,14 @@
 // reports its seed, and re-running the same configuration with that seed
 // replays the identical schedule.
 //
-// The network model: every broadcast becomes one envelope per recipient,
-// carrying the wire-encoded frame (so every delivery exercises the codec).
+// The network model: replicas emit addressed consensus.Outbound envelopes;
+// a Broadcast envelope becomes one wire envelope per recipient, a unicast
+// envelope is delivered to exactly its Dest, and each carries the
+// wire-encoded frame (so every delivery exercises the codec). The harness
+// asserts, per emission, that state-transfer offer/chunk traffic
+// (SyncAvail, SyncChunkRequest, SyncChunk) is never broadcast — the
+// pairwise protocol must not lean on cluster-wide delivery the real
+// transport would have to pay for.
 // A "dropped" delivery is re-queued at a random later position — the
 // protocol has no timers of its own, so loss is modelled as the arbitrary
 // delay a retransmitting sender produces, which preserves the eventual
@@ -157,6 +163,10 @@ type Sim struct {
 	// checked tracks how far each honest replica's committed prefix has
 	// been compared against canon.
 	checked map[consensus.ReplicaID]uint64
+	// envelopeErr records the first addressed-envelope invariant violation
+	// (sync offer/chunk traffic broadcast, or a nonsense Dest); surfaced by
+	// the per-step invariant check.
+	envelopeErr error
 }
 
 type heldEnvelope struct {
@@ -264,18 +274,52 @@ func (s *Sim) buildRequests(seq uint64, tag string) []ledger.Request {
 	return out
 }
 
-// broadcast enqueues one envelope per peer (excluding the sender).
-func (s *Sim) broadcast(from consensus.ReplicaID, msgs []consensus.Message) {
-	for _, m := range msgs {
-		frame := consensus.EncodeMessage(m)
-		for i := 0; i < s.cfg.N; i++ {
-			to := consensus.ReplicaID(i)
-			if to == from {
-				continue
-			}
-			s.queue = append(s.queue, envelope{from: from, to: to, frame: frame})
-		}
+// pairwiseSync reports whether m belongs to the state-transfer offer/chunk
+// traffic that must always be unicast (discovery SyncRequests legitimately
+// broadcast: the laggard does not know who holds a checkpoint).
+func pairwiseSync(m consensus.Message) bool {
+	switch m.(type) {
+	case *consensus.SyncAvail, *consensus.SyncChunkRequest, *consensus.SyncChunk:
+		return true
 	}
+	return false
+}
+
+// route enqueues a replica's addressed envelopes: a Broadcast envelope
+// becomes one wire envelope per peer (excluding the sender), a unicast
+// envelope goes to exactly its Dest. Violations of the envelope invariant —
+// pairwise sync traffic broadcast, a self- or out-of-range Dest — are
+// recorded and fail the run at the next invariant check.
+func (s *Sim) route(from consensus.ReplicaID, outs []consensus.Outbound) {
+	for _, o := range outs {
+		if o.IsBroadcast() {
+			if pairwiseSync(o.Msg) && s.envelopeErr == nil {
+				s.envelopeErr = fmt.Errorf("envelope: replica %d broadcast %T; sync offer/chunk traffic must be unicast", from, o.Msg)
+			}
+			frame := consensus.EncodeMessage(o.Msg)
+			for i := 0; i < s.cfg.N; i++ {
+				to := consensus.ReplicaID(i)
+				if to == from {
+					continue
+				}
+				s.queue = append(s.queue, envelope{from: from, to: to, frame: frame})
+			}
+			continue
+		}
+		if o.Dest == from || int(o.Dest) >= s.cfg.N {
+			if s.envelopeErr == nil {
+				s.envelopeErr = fmt.Errorf("envelope: replica %d addressed %T to invalid dest %d", from, o.Msg, o.Dest)
+			}
+			continue
+		}
+		s.queue = append(s.queue, envelope{from: from, to: o.Dest, frame: consensus.EncodeMessage(o.Msg)})
+	}
+}
+
+// broadcastMsg enqueues one unaddressed message (proposals and other
+// harness-originated traffic) to every peer.
+func (s *Sim) broadcastMsg(from consensus.ReplicaID, m consensus.Message) {
+	s.route(from, []consensus.Outbound{{Dest: consensus.Broadcast, Msg: m}})
 }
 
 // sendTo enqueues one targeted envelope (Byzantine senders only; honest
@@ -343,7 +387,7 @@ func (s *Sim) deliver(e envelope) error {
 	}
 	if rep, ok := s.honest[e.to]; ok {
 		out, _ := rep.Handle(msg) // invalid messages are the sender's fault
-		s.broadcast(e.to, out)
+		s.route(e.to, out)
 		return nil
 	}
 	if node, ok := s.byz[e.to]; ok && node.rep != nil && !node.struck {
@@ -351,7 +395,7 @@ func (s *Sim) deliver(e envelope) error {
 		if node.behaviour == BehaviourLyingSync {
 			corruptSyncChunks(out)
 		}
-		s.broadcast(e.to, out)
+		s.route(e.to, out)
 	}
 	return nil
 }
@@ -360,9 +404,9 @@ func (s *Sim) deliver(e envelope) error {
 // modelling a chunk server that serves garbage while participating honestly
 // in consensus. The payloads are freshly built per response, so mutating
 // them in place corrupts only what goes on the wire.
-func corruptSyncChunks(msgs []consensus.Message) {
-	for _, m := range msgs {
-		if sc, ok := m.(*consensus.SyncChunk); ok && len(sc.Data) > 0 {
+func corruptSyncChunks(outs []consensus.Outbound) {
+	for _, o := range outs {
+		if sc, ok := o.Msg.(*consensus.SyncChunk); ok && len(sc.Data) > 0 {
 			sc.Data[len(sc.Data)/2] ^= 0xff
 		}
 	}
@@ -381,14 +425,14 @@ func (s *Sim) tick() {
 			if err != nil {
 				break
 			}
-			s.broadcast(id, []consensus.Message{pp})
+			s.broadcastMsg(id, pp)
 		}
 	}
 	// Drive the deterministic state-transfer clock: one tick per step, so
 	// sync patience, retry deadlines, and backoff are all measured in
 	// schedule steps.
 	for _, id := range s.honestIDs() {
-		s.broadcast(id, s.honest[id].SyncTick())
+		s.route(id, s.honest[id].SyncTick())
 	}
 	for i := 0; i < s.cfg.N; i++ {
 		id := consensus.ReplicaID(i)
@@ -452,6 +496,9 @@ func (s *Sim) equivocate(id consensus.ReplicaID, rep *consensus.Replica) {
 // never diverge across honest replicas, and blame only ever names scripted
 // Byzantine keys.
 func (s *Sim) checkInvariants() error {
+	if s.envelopeErr != nil {
+		return s.envelopeErr
+	}
 	for _, id := range s.honestIDs() {
 		rep := s.honest[id]
 		// Bounded memory: the commit path prunes below the latest committed
@@ -556,7 +603,7 @@ func (s *Sim) Run() (*Result, error) {
 			// if retransmission alone cannot help, the stall counter below
 			// escalates to view changes.
 			for _, id := range s.honestIDs() {
-				s.broadcast(id, s.honest[id].Retransmit())
+				s.route(id, s.honest[id].Retransmit())
 			}
 		}
 		if len(s.queue) > 0 {
@@ -595,7 +642,7 @@ func (s *Sim) Run() (*Result, error) {
 		} else if s.stall++; s.stall >= s.cfg.StallTimeout {
 			s.stall = 0
 			for _, id := range s.honestIDs() {
-				s.broadcast(id, s.honest[id].OnTimeout())
+				s.route(id, s.honest[id].OnTimeout())
 			}
 		}
 	}

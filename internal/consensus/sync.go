@@ -160,16 +160,18 @@ func (r *Replica) noteAhead(seq uint64) {
 }
 
 // SyncTick advances the state-transfer clock one step and returns any
-// messages to broadcast. The harness calls it once per scheduling round;
-// all deadlines and backoffs are in these ticks, never wall time.
-func (r *Replica) SyncTick() []Message {
+// envelopes to send: discovery requests broadcast (the laggard does not
+// know who holds a checkpoint), chunk re-requests unicast to the accepted
+// offer's source. The harness or node runtime calls it once per scheduling
+// round; all deadlines and backoffs are in these ticks, never wall time.
+func (r *Replica) SyncTick() []Outbound {
 	s := &r.sync
 	s.tick++
 	if r.committed != s.lastCommitted {
 		s.lastCommitted = r.committed
 		s.behindFor = 0
 	}
-	var out []Message
+	var out []Outbound
 	switch s.phase {
 	case syncIdle:
 		behind := s.ahead > r.committed+uint64(r.window)
@@ -182,7 +184,7 @@ func (r *Replica) SyncTick() []Message {
 			s.phase = syncCollecting
 			s.backoff = syncBaseBackoff
 			s.deadline = s.tick + s.backoff
-			out = append(out, &SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed})
+			out = append(out, toAll(&SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed}))
 		}
 	case syncCollecting:
 		if !s.force && s.ahead <= r.committed+uint64(r.window) {
@@ -196,7 +198,7 @@ func (r *Replica) SyncTick() []Message {
 				s.backoff *= 2
 			}
 			s.deadline = s.tick + s.backoff
-			out = append(out, &SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed})
+			out = append(out, toAll(&SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed}))
 		}
 	case syncFetching:
 		if r.committed >= s.offer.cert.Seq() {
@@ -215,7 +217,7 @@ func (r *Replica) SyncTick() []Message {
 				s.backoff = syncBaseBackoff
 				s.deadline = s.tick + s.backoff
 				s.offer, s.state, s.batch = nil, nil, nil
-				out = append(out, &SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed})
+				out = append(out, toAll(&SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed}))
 				break
 			}
 			if s.backoff < syncMaxBackoff {
@@ -244,36 +246,38 @@ func (r *Replica) banSyncSource(id ReplicaID) {
 }
 
 // requestMissingChunks re-emits chunk requests for everything still owed by
-// the current offer.
-func (r *Replica) requestMissingChunks() []Message {
+// the current offer, each addressed to the offer's source alone — the only
+// replica whose checkpoint the fetch plan was derived from.
+func (r *Replica) requestMissingChunks() []Outbound {
 	s := &r.sync
 	if s.offer == nil {
 		return nil
 	}
-	var out []Message
+	var out []Outbound
 	for i, c := range s.state {
 		if c == nil {
-			out = append(out, &SyncChunkRequest{
+			out = append(out, toPeer(s.offer.source, &SyncChunkRequest{
 				Replica: r.cfg.ID, Source: s.offer.source,
 				CkptSeq: s.offer.ckptSeq, Kind: SyncChunkState, Index: uint64(i),
-			})
+			}))
 		}
 	}
 	for i, b := range s.batch {
 		if b == nil {
-			out = append(out, &SyncChunkRequest{
+			out = append(out, toPeer(s.offer.source, &SyncChunkRequest{
 				Replica: r.cfg.ID, Source: s.offer.source,
 				CkptSeq: s.offer.ckptSeq, Kind: SyncChunkBatch, Index: uint64(i),
-			})
+			}))
 		}
 	}
 	return out
 }
 
 // handleSyncRequest is the server side of discovery: if this replica holds
-// a committed checkpoint past the requester's watermark, it answers with
-// the checkpoint coordinates anchored by its latest commit certificate.
-func (r *Replica) handleSyncRequest(m *SyncRequest, out *[]Message) error {
+// a committed checkpoint past the requester's watermark, it answers — the
+// requester alone; an offer means nothing to anyone else — with the
+// checkpoint coordinates anchored by its latest commit certificate.
+func (r *Replica) handleSyncRequest(m *SyncRequest, out *[]Outbound) error {
 	if int(m.Replica) >= r.n || m.Replica == r.cfg.ID {
 		return nil
 	}
@@ -285,14 +289,14 @@ func (r *Replica) handleSyncRequest(m *SyncRequest, out *[]Message) error {
 		// Nothing to offer beyond what normal retransmission covers.
 		return nil
 	}
-	*out = append(*out, &SyncAvail{
+	*out = append(*out, toPeer(m.Replica, &SyncAvail{
 		Replica:      r.cfg.ID,
 		Requester:    m.Replica,
 		CkptSeq:      ck.Seq,
 		ShardDigests: ck.ShardDigests,
 		Frontier:     ck.Frontier.Encode(),
 		Cert:         r.lastCommit,
-	})
+	}))
 	return nil
 }
 
@@ -300,7 +304,7 @@ func (r *Replica) handleSyncRequest(m *SyncRequest, out *[]Message) error {
 // verify, certify a sequence number past our watermark, and sign over a
 // d_C that the announced shard digest vector combines to. First verified
 // offer wins; the fetch plan is derived entirely from it.
-func (r *Replica) handleSyncAvail(m *SyncAvail, out *[]Message) error {
+func (r *Replica) handleSyncAvail(m *SyncAvail, out *[]Outbound) error {
 	s := &r.sync
 	if s.phase != syncCollecting || m.Requester != r.cfg.ID {
 		return nil
@@ -348,10 +352,12 @@ func (r *Replica) handleSyncAvail(m *SyncAvail, out *[]Message) error {
 }
 
 // handleSyncChunkRequest is the server side of the fetch: serve one chunk
-// of the checkpoint this replica announced, if still retained. Requests
+// of the checkpoint this replica announced, unicast back to the requester
+// (chunks are the bulk of sync traffic; broadcasting them would multiply
+// transfer bandwidth by the cluster size), if still retained. Requests
 // for checkpoints this replica no longer holds (pruned past, or rolled
 // back) are silently ignored; the requester's timeout re-discovers.
-func (r *Replica) handleSyncChunkRequest(m *SyncChunkRequest, out *[]Message) error {
+func (r *Replica) handleSyncChunkRequest(m *SyncChunkRequest, out *[]Outbound) error {
 	if m.Source != r.cfg.ID || int(m.Replica) >= r.n || m.Replica == r.cfg.ID {
 		return nil
 	}
@@ -383,10 +389,10 @@ func (r *Replica) handleSyncChunkRequest(m *SyncChunkRequest, out *[]Message) er
 	default:
 		return nil
 	}
-	*out = append(*out, &SyncChunk{
+	*out = append(*out, toPeer(m.Replica, &SyncChunk{
 		Replica: r.cfg.ID, Requester: m.Replica,
 		CkptSeq: m.CkptSeq, Kind: m.Kind, Index: m.Index, Data: data,
-	})
+	}))
 	return nil
 }
 
@@ -405,7 +411,7 @@ func encodeBatchChunk(b *ledger.Batch) []byte {
 // and carry the right sequence number, with full verification deferred to
 // adoption. A chunk that fails its check is simply not recorded — the next
 // timeout re-requests it, and persistent failure bans the source.
-func (r *Replica) handleSyncChunk(m *SyncChunk, out *[]Message) error {
+func (r *Replica) handleSyncChunk(m *SyncChunk, out *[]Outbound) error {
 	s := &r.sync
 	if s.phase != syncFetching || s.offer == nil {
 		return nil
@@ -454,7 +460,7 @@ func (r *Replica) handleSyncChunk(m *SyncChunk, out *[]Message) error {
 			s.phase = syncCollecting
 			s.backoff = syncBaseBackoff
 			s.deadline = s.tick + s.backoff
-			*out = append(*out, &SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed})
+			*out = append(*out, toAll(&SyncRequest{Replica: r.cfg.ID, HaveSeq: r.committed}))
 			return fmt.Errorf("%w: sync adoption failed: %v", ErrInvalid, err)
 		}
 	}

@@ -220,12 +220,12 @@ func (r *Replica) prewarm(msgs []Message) {
 
 // HandleAll processes a batch of messages: one pooled signature prewarm
 // over everything the batch carries, then the usual serial state-machine
-// pass. Outputs are concatenated in order; per-message errors are dropped
-// (invalid messages are the sender's fault and change no state), so
+// pass. Output envelopes are concatenated in order; per-message errors are
+// dropped (invalid messages are the sender's fault and change no state), so
 // callers that care about individual verdicts should use Handle.
-func (r *Replica) HandleAll(msgs []Message) []Message {
+func (r *Replica) HandleAll(msgs []Message) []Outbound {
 	r.prewarm(msgs)
-	var out []Message
+	var out []Outbound
 	for _, m := range msgs {
 		o, _ := r.Handle(m)
 		out = append(out, o...)

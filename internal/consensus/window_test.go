@@ -16,7 +16,7 @@ func (c *cluster) deliver(msgs []Message) []Message {
 	for _, m := range msgs {
 		for _, r := range c.replicas {
 			o, _ := r.Handle(m)
-			out = append(out, o...)
+			out = append(out, outMsgs(o)...)
 		}
 	}
 	return out
@@ -47,7 +47,7 @@ func TestWindowOutOfOrderQuorums(t *testing.T) {
 			if err != nil {
 				t.Fatalf("backup %d pp %d: %v", id, w+1, err)
 			}
-			prepares[w] = append(prepares[w], out...)
+			prepares[w] = append(prepares[w], outMsgs(out)...)
 		}
 	}
 	for _, r := range c.replicas {
@@ -97,7 +97,7 @@ func TestViewChangePartiallyCommittedWindow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prep1 = append(prep1, out...)
+		prep1 = append(prep1, outMsgs(out)...)
 	}
 	c.deliver(c.deliver(prep1))
 	// Live history roots legitimately diverge here — the primary holds
@@ -115,7 +115,7 @@ func TestViewChangePartiallyCommittedWindow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prep2 = append(prep2, out...)
+		prep2 = append(prep2, outMsgs(out)...)
 	}
 	c.deliver(prep2) // commits dropped
 	// Seq 3 reaches only replica 1.
@@ -125,7 +125,7 @@ func TestViewChangePartiallyCommittedWindow(t *testing.T) {
 
 	wantSeq2 := pps[1].Prop.Header.SigningDigest()
 	for _, id := range []int{1, 2, 3} {
-		c.queue = append(c.queue, c.replicas[id].OnTimeout()...)
+		c.queue = append(c.queue, outMsgs(c.replicas[id].OnTimeout())...)
 	}
 	c.flood(0) // old primary stays silent
 
@@ -250,13 +250,13 @@ func TestHandleAllMatchesHandle(t *testing.T) {
 			aMsgs = aMsgs[1:]
 			for _, r := range a.replicas {
 				out, _ := r.Handle(m)
-				aMsgs = append(aMsgs, out...)
+				aMsgs = append(aMsgs, outMsgs(out)...)
 			}
 		}
 		for len(bMsgs) > 0 {
 			var next []Message
 			for _, r := range b.replicas {
-				next = append(next, r.HandleAll(bMsgs)...)
+				next = append(next, outMsgs(r.HandleAll(bMsgs))...)
 			}
 			bMsgs = next
 		}

@@ -1,0 +1,110 @@
+package ledger
+
+import (
+	"fmt"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/wire"
+)
+
+// ErrBadReceipt reports a malformed receipt on decode.
+var ErrBadReceipt = fmt.Errorf("ledger: malformed receipt")
+
+// maxReceiptPath bounds the audit path accepted on decode. A sharded path
+// is the per-shard tree depth plus the shard roll-up depth; 256 levels
+// covers 2^128 leaves per side, far beyond any ledger this code can build,
+// while keeping a hostile frame from allocating unbounded digests.
+const maxReceiptPath = 256
+
+// EncodeReceipt appends the wire encoding of the receipt to dst: the
+// signed header, the entry, the position metadata, and the audit path.
+// Receipts cross the client submission RPC, so the encoding is versioned
+// by the enclosing transport frame, not here.
+func EncodeReceipt(dst []byte, rc *Receipt) []byte {
+	w := wire.NewAppendWriter(dst)
+	rc.Header.EncodeTo(w)
+	w.Bytes(rc.Entry.Encode(nil))
+	w.Uint32(rc.Shard)
+	w.Uint64(rc.Index)
+	w.Uint64(rc.ShardSize)
+	w.Uint32(uint32(len(rc.Path)))
+	for _, d := range rc.Path {
+		w.Digest(d)
+	}
+	return w.AppendedBytes()
+}
+
+// DecodeReceipt parses the encoding produced by EncodeReceipt. The result
+// shares no memory with b. Decoding validates shape only; cryptographic
+// validity is the caller's Verify call.
+func DecodeReceipt(b []byte) (*Receipt, error) {
+	r := wire.NewBytesReader(b)
+	rc := &Receipt{Header: DecodeHeader(r)}
+	eb := r.Bytes(wire.MaxValueLen)
+	if r.Err() == nil {
+		e, err := DecodeEntry(eb)
+		if err != nil {
+			r.Fail(err)
+		}
+		rc.Entry = e
+	}
+	rc.Shard = r.Uint32()
+	rc.Index = r.Uint64()
+	rc.ShardSize = r.Uint64()
+	n := r.Uint32()
+	if n > maxReceiptPath {
+		return nil, fmt.Errorf("%w: path length %d exceeds %d", ErrBadReceipt, n, maxReceiptPath)
+	}
+	if r.Err() == nil && n > 0 {
+		rc.Path = make([]hashsig.Digest, 0, n)
+		for i := uint32(0); i < n; i++ {
+			rc.Path = append(rc.Path, r.Digest())
+		}
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReceipt, err)
+	}
+	return rc, nil
+}
+
+// EncodeRequest appends the wire encoding of a client request to dst. This
+// is the submission-RPC body: what a client signs up to having recorded on
+// the ledger as ⟨t,i⟩.
+func EncodeRequest(dst []byte, rq *Request) []byte {
+	w := wire.NewAppendWriter(dst)
+	gov := uint32(0)
+	if rq.Governance {
+		gov = 1
+	}
+	w.Uint32(gov)
+	w.Digest(rq.Author)
+	w.Uint64(rq.ReqNo)
+	w.Bytes(rq.Body)
+	return w.AppendedBytes()
+}
+
+// DecodeRequest parses the encoding produced by EncodeRequest, enforcing
+// the ingress body cap MaxRequestLen so an oversized submission is rejected
+// at the frame boundary, before it can reach the pool or the ledger. The
+// result shares no memory with b. Failures wrap ErrBadRequest.
+func DecodeRequest(b []byte) (Request, error) {
+	r := wire.NewBytesReader(b)
+	var rq Request
+	switch gov := r.Uint32(); gov {
+	case 0:
+	case 1:
+		rq.Governance = true
+	default:
+		return Request{}, fmt.Errorf("%w: governance flag %d", ErrBadRequest, gov)
+	}
+	rq.Author = r.Digest()
+	rq.ReqNo = r.Uint64()
+	rq.Body = r.Bytes(MaxRequestLen)
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return rq, nil
+}
+

@@ -1,0 +1,231 @@
+// Package loadgen drives a running cluster through the client submission
+// RPC and measures committed throughput. It is both the library behind
+// cmd/loadgen and the workload driver for the CI acceptance job: workers
+// submit ordered request streams, follow leader hints, verify every
+// receipt client-side, and the run reports committed entries/sec.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+	"iaccf/internal/node"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addrs lists the cluster's RPC addresses, indexed by node ID. The
+	// NotPrimary leader hint is an index into this slice.
+	Addrs []string
+	// Pubs are the replica public keys receipts must verify against.
+	// Empty disables client-side verification.
+	Pubs []*hashsig.PublicKey
+	// Workers is the number of concurrent submitters, each with its own
+	// author identity and ReqNo stream. Default 4.
+	Workers int
+	// Requests is the per-worker request count. Default 32.
+	Requests int
+	// Seed derives worker author identities, so re-runs against a fresh
+	// cluster are reproducible. Default "loadgen".
+	Seed string
+	// Timeout bounds each submission exchange. Default 15s.
+	Timeout time.Duration
+	// ValueLen sizes each request's op value. Default 32.
+	ValueLen int
+}
+
+// Result summarizes a load run.
+type Result struct {
+	Committed     int
+	Duplicates    int
+	Failures      int
+	Elapsed       time.Duration
+	EntriesPerSec float64
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("committed %d (dup %d, failed %d) in %.2fs: %.1f entries/sec",
+		r.Committed, r.Duplicates, r.Failures, r.Elapsed.Seconds(), r.EntriesPerSec)
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 32
+	}
+	if c.Seed == "" {
+		c.Seed = "loadgen"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 15 * time.Second
+	}
+	if c.ValueLen <= 0 {
+		c.ValueLen = 32
+	}
+}
+
+// Run executes the configured workload and blocks until every worker
+// finishes. The first hard error (no address reachable, receipt that
+// fails verification) aborts the run.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("loadgen: no RPC addresses")
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		res      Result
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			committed, dups, fails, err := runWorker(&cfg, w)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Committed += committed
+			res.Duplicates += dups
+			res.Failures += fails
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Elapsed = time.Since(start)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.EntriesPerSec = float64(res.Committed) / s
+	}
+	return &res, nil
+}
+
+// worker is one submission stream: a distinct author, strictly increasing
+// ReqNos, and a sticky connection that follows NotPrimary leader hints.
+type worker struct {
+	cfg    *Config
+	author hashsig.Digest
+	target int // index into cfg.Addrs
+	cl     *node.RPCClient
+}
+
+func runWorker(cfg *Config, idx int) (committed, dups, fails int, err error) {
+	wk := &worker{
+		cfg:    cfg,
+		author: hashsig.Sum([]byte(fmt.Sprintf("%s/worker/%d", cfg.Seed, idx))),
+		target: idx % len(cfg.Addrs),
+	}
+	defer wk.disconnect()
+	val := make([]byte, cfg.ValueLen)
+	for i := 0; i < cfg.Requests; i++ {
+		rq := ledger.Request{
+			Author: wk.author,
+			ReqNo:  uint64(i + 1),
+			Body: ledger.EncodeOps([]ledger.Op{{
+				Key: fmt.Sprintf("w%d/k%d", idx, i+1),
+				Val: val,
+			}}),
+		}
+		st, rerr := wk.submit(&rq)
+		switch {
+		case rerr != nil:
+			return committed, dups, fails, rerr
+		case st == node.StatusCommitted:
+			committed++
+		case st == node.StatusDuplicate:
+			// A retry after a lost response raced an already-committed
+			// request: the entry is on the ledger, just not re-receipted.
+			dups++
+		default:
+			fails++
+		}
+	}
+	return committed, dups, fails, nil
+}
+
+// submit pushes one request until a terminal verdict, rotating through
+// leader hints and (on connection failure) the remaining nodes.
+func (wk *worker) submit(rq *ledger.Request) (node.Status, error) {
+	deadline := time.Now().Add(wk.cfg.Timeout * 4)
+	var lastErr error
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		if wk.cl == nil {
+			cl, err := node.DialRPC(wk.cfg.Addrs[wk.target], wk.cfg.Timeout)
+			if err != nil {
+				lastErr = err
+				wk.target = (wk.target + 1) % len(wk.cfg.Addrs)
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			wk.cl = cl
+		}
+		res, err := wk.cl.Submit(rq, wk.cfg.Timeout)
+		if err != nil {
+			lastErr = err
+			wk.disconnect()
+			wk.target = (wk.target + 1) % len(wk.cfg.Addrs)
+			continue
+		}
+		switch res.Status {
+		case node.StatusCommitted:
+			if err := wk.verify(rq, res.Receipt); err != nil {
+				return res.Status, err
+			}
+			return res.Status, nil
+		case node.StatusNotPrimary:
+			// Follow the hint; a stale hint just round-trips again.
+			next := int(res.Leader)
+			if next < 0 || next >= len(wk.cfg.Addrs) || next == wk.target {
+				next = (wk.target + 1) % len(wk.cfg.Addrs)
+			}
+			wk.disconnect()
+			wk.target = next
+		case node.StatusBusy, node.StatusTimeout:
+			// Transient: pool backpressure or a slow view — back off and
+			// resubmit the same request (dedup makes this safe).
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return res.Status, nil
+		}
+	}
+	return 0, fmt.Errorf("loadgen: request %d/%d gave up: %v", rq.ReqNo, len(wk.cfg.Addrs), lastErr)
+}
+
+// verify checks the receipt proves THIS request committed, under some
+// replica's key — the client-side audit step the paper's receipts exist
+// for.
+func (wk *worker) verify(rq *ledger.Request, rc *ledger.Receipt) error {
+	if len(wk.cfg.Pubs) == 0 {
+		return nil
+	}
+	if rc == nil {
+		return fmt.Errorf("loadgen: committed without receipt (reqno %d)", rq.ReqNo)
+	}
+	if rc.Entry.ReqNo != rq.ReqNo || rc.Entry.Author != rq.Author {
+		return fmt.Errorf("loadgen: receipt is for author %x reqno %d, want reqno %d",
+			rc.Entry.Author[:4], rc.Entry.ReqNo, rq.ReqNo)
+	}
+	for _, pub := range wk.cfg.Pubs {
+		if rc.Verify(pub) {
+			return nil
+		}
+	}
+	return fmt.Errorf("loadgen: receipt for reqno %d verifies under no replica key", rq.ReqNo)
+}
+
+func (wk *worker) disconnect() {
+	if wk.cl != nil {
+		wk.cl.Close()
+		wk.cl = nil
+	}
+}

@@ -1,0 +1,477 @@
+// Package node is the runtime that turns a deterministic consensus
+// replica into a networked cluster member. It owns everything the
+// consensus package deliberately does not: the wall clock (through the
+// Clock seam), the transport, the transaction pool feeding the primary,
+// and the client submission path with receipt delivery.
+//
+// One goroutine — the run loop — owns the consensus.Replica. Transport
+// handlers and RPC submissions communicate with it only through channels,
+// so replica state remains a pure function of the sequence of messages
+// and ticks the loop consumed, exactly the property the sim harness and
+// the detsource analyzer enforce on the layers below.
+package node
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"iaccf/internal/consensus"
+	"iaccf/internal/hashsig"
+	"iaccf/internal/ledger"
+	"iaccf/internal/transport"
+	"iaccf/internal/txpool"
+)
+
+// Status is the submission RPC verdict.
+type Status uint8
+
+const (
+	// StatusCommitted: the request executed and committed; the result
+	// carries its receipt.
+	StatusCommitted Status = 1
+	// StatusNotPrimary: this node is a backup; the result names the
+	// current leader for the client to resubmit to.
+	StatusNotPrimary Status = 2
+	// StatusBusy: the transaction pool is full — backpressure, retry
+	// with backoff.
+	StatusBusy Status = 3
+	// StatusTooLarge: the request body exceeds ledger.MaxRequestLen.
+	StatusTooLarge Status = 4
+	// StatusDuplicate: the exact request was already committed or is no
+	// longer pending; the client has (or had) its receipt.
+	StatusDuplicate Status = 5
+	// StatusTimeout: the request did not commit within the node's
+	// patience; the client should retry (possibly against a new leader).
+	StatusTimeout Status = 6
+	// StatusShutdown: the node stopped before the request resolved.
+	StatusShutdown Status = 7
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusCommitted:
+		return "committed"
+	case StatusNotPrimary:
+		return "not-primary"
+	case StatusBusy:
+		return "busy"
+	case StatusTooLarge:
+		return "too-large"
+	case StatusDuplicate:
+		return "duplicate"
+	case StatusTimeout:
+		return "timeout"
+	case StatusShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// SubmitResult is one submission's outcome.
+type SubmitResult struct {
+	Status  Status
+	Leader  transport.NodeID // set for StatusNotPrimary
+	Receipt *ledger.Receipt  // set for StatusCommitted
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Consensus configures the replica this node runs. Required.
+	Consensus consensus.Config
+	// Transport moves frames between cluster nodes. Required. The node
+	// registers no handler itself — wire InboundHandler() as the
+	// transport's Handler.
+	Transport transport.Transport
+	// Clock drives ticks. Required.
+	Clock Clock
+	// Pool is the transaction pool. Nil means a default-capacity pool.
+	Pool *txpool.Pool
+	// BatchMax bounds requests per proposed batch. 0 means 64.
+	BatchMax int
+	// RetransmitEvery is the tick cadence of Retransmit. 0 means 8.
+	RetransmitEvery int
+	// StallTicks is how many ticks without commit progress (with work in
+	// flight) the node tolerates before voting for a view change.
+	// 0 means 32.
+	StallTicks int
+	// SubmitPatienceTicks bounds how long a pending submission waits for
+	// its commit before StatusTimeout. 0 means 128.
+	SubmitPatienceTicks int
+}
+
+type inFrame struct {
+	from  transport.NodeID
+	frame []byte
+}
+
+type submission struct {
+	rq   ledger.Request
+	resp chan SubmitResult
+}
+
+type waiter struct {
+	resp     chan SubmitResult
+	deadline uint64 // tick number
+}
+
+// pendingSub links one proposed request to its receipt slot: rcIdx indexes
+// the batch's receipts for transactions, -1 for governance actions (which
+// get no receipt — the ledger records them without execution).
+type pendingSub struct {
+	hash  hashsig.Digest
+	rcIdx int
+}
+
+// pendingBatch parks a speculative proposal's delivery material until its
+// sequence commits. The header digest is the speculative header's signing
+// digest: delivery compares it against the batch that actually committed
+// at that sequence, so a view change that replaced the batch can never
+// hand a client a receipt for content that did not commit.
+type pendingBatch struct {
+	view         uint64
+	headerDigest hashsig.Digest
+	rcs          []ledger.Receipt
+	subs         []pendingSub
+}
+
+// Node runs one cluster member: replica, pool, and delivery bookkeeping.
+type Node struct {
+	cfg  Config
+	rep  *consensus.Replica
+	pool *txpool.Pool
+
+	frames  chan inFrame
+	submits chan submission
+	stop    chan struct{}
+	stopped chan struct{}
+
+	// Run-loop-owned state (no locks: single consumer).
+	ticks            uint64
+	lastCommitted    uint64
+	lastProgressTick uint64
+	pending          map[uint64]pendingBatch
+	waiters          map[hashsig.Digest][]waiter
+
+	committedSeqs    atomic.Uint64
+	committedEntries atomic.Uint64
+}
+
+// New builds a node (replica included) but does not start it.
+func New(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: nil transport")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("node: nil clock")
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.RetransmitEvery <= 0 {
+		cfg.RetransmitEvery = 8
+	}
+	if cfg.StallTicks <= 0 {
+		cfg.StallTicks = 32
+	}
+	if cfg.SubmitPatienceTicks <= 0 {
+		cfg.SubmitPatienceTicks = 128
+	}
+	rep, err := consensus.New(cfg.Consensus)
+	if err != nil {
+		return nil, err
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = txpool.New(txpool.Config{})
+	}
+	return &Node{
+		cfg:     cfg,
+		rep:     rep,
+		pool:    pool,
+		frames:  make(chan inFrame, 1024),
+		submits: make(chan submission, 256),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		pending: make(map[uint64]pendingBatch),
+		waiters: make(map[hashsig.Digest][]waiter),
+	}, nil
+}
+
+// InboundHandler returns the transport.Handler feeding this node. The
+// frame is copied (the transport reuses its buffer); a full inbound queue
+// drops the frame, which retransmission covers.
+func (n *Node) InboundHandler() transport.Handler {
+	return func(from transport.NodeID, frame []byte) {
+		f := inFrame{from: from, frame: append([]byte(nil), frame...)}
+		select {
+		case n.frames <- f:
+		case <-n.stop:
+		default:
+		}
+	}
+}
+
+// Start launches the run loop.
+func (n *Node) Start() { go n.run() }
+
+// Stop halts the run loop and fails pending submissions with
+// StatusShutdown. It does not close the transport or the clock — the
+// caller owns both.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.stopped
+}
+
+// CommittedSeqs reports the committed sequence watermark.
+func (n *Node) CommittedSeqs() uint64 { return n.committedSeqs.Load() }
+
+// CommittedEntries reports committed ledger entries across all batches —
+// the throughput numerator for entries/sec.
+func (n *Node) CommittedEntries() uint64 { return n.committedEntries.Load() }
+
+// Submit hands one client request to the node and blocks until it
+// commits (receipt attached), fails fast (not primary / busy / too
+// large / duplicate), times out, or the node stops.
+func (n *Node) Submit(rq ledger.Request) SubmitResult {
+	s := submission{rq: rq, resp: make(chan SubmitResult, 1)}
+	select {
+	case n.submits <- s:
+	case <-n.stop:
+		return SubmitResult{Status: StatusShutdown}
+	}
+	select {
+	case r := <-s.resp:
+		return r
+	case <-n.stopped:
+		return SubmitResult{Status: StatusShutdown}
+	}
+}
+
+func (n *Node) run() {
+	defer close(n.stopped)
+	for {
+		select {
+		case <-n.stop:
+			for h, ws := range n.waiters {
+				for _, w := range ws {
+					w.resp <- SubmitResult{Status: StatusShutdown}
+				}
+				delete(n.waiters, h)
+			}
+			return
+		case f := <-n.frames:
+			n.onFrame(f)
+		case <-n.cfg.Clock.C():
+			n.onTick()
+		case s := <-n.submits:
+			n.onSubmit(s)
+		}
+	}
+}
+
+// route encodes and ships consensus envelopes: broadcast sentinel to all
+// peers, addressed envelopes to exactly their destination. This is where
+// the Outbound API pays off — sync offer and chunk traffic leaves on one
+// lane instead of n-1.
+func (n *Node) route(outs []consensus.Outbound) {
+	for _, o := range outs {
+		frame := consensus.EncodeMessage(o.Msg)
+		if o.IsBroadcast() {
+			n.cfg.Transport.Broadcast(frame)
+		} else {
+			n.cfg.Transport.Send(transport.NodeID(o.Dest), frame)
+		}
+	}
+}
+
+func (n *Node) onFrame(f inFrame) {
+	m, err := consensus.DecodeMessage(f.frame)
+	if err != nil {
+		return // malformed frame: the sender's problem
+	}
+	outs, _ := n.rep.Handle(m)
+	n.route(outs)
+	n.afterProgress()
+}
+
+func (n *Node) onTick() {
+	n.ticks++
+	n.route(n.rep.SyncTick())
+	n.proposeFromPool()
+	if n.ticks%uint64(n.cfg.RetransmitEvery) == 0 {
+		n.route(n.rep.Retransmit())
+	}
+	if n.rep.InFlight() > 0 && n.ticks-n.lastProgressTick >= uint64(n.cfg.StallTicks) {
+		n.route(n.rep.OnTimeout())
+		n.lastProgressTick = n.ticks // re-arm rather than fire every tick
+	}
+	n.expireWaiters()
+	n.afterProgress()
+}
+
+// proposeFromPool drains the pool into proposals while the window has
+// room. Receipts from Propose are speculative until the sequence commits;
+// they are parked per seq and delivered by afterProgress.
+func (n *Node) proposeFromPool() {
+	for n.rep.IsPrimary() && n.rep.CanPropose() {
+		batch := n.pool.NextBatch(n.cfg.BatchMax)
+		if len(batch) == 0 {
+			return
+		}
+		pp, rcs, err := n.rep.Propose(batch)
+		if err != nil {
+			// The batch is lost from the pool; clients retry via timeout.
+			return
+		}
+		pb := pendingBatch{
+			view:         n.rep.View(),
+			headerDigest: pp.Prop.Header.SigningDigest(),
+			rcs:          rcs,
+		}
+		ti := 0
+		for i := range batch {
+			idx := -1
+			if !batch[i].Governance {
+				idx = ti
+				ti++
+			}
+			pb.subs = append(pb.subs, pendingSub{hash: txpool.Hash(&batch[i]), rcIdx: idx})
+		}
+		n.pending[pp.Prop.Header.Seq] = pb
+		n.route([]consensus.Outbound{{Dest: consensus.Broadcast, Msg: pp}})
+	}
+}
+
+// afterProgress reconciles the committed watermark: counts throughput,
+// delivers parked receipts to their waiters, and feeds committed request
+// hashes back to the pool's duplicate filter.
+func (n *Node) afterProgress() {
+	c := n.rep.Committed()
+	if c <= n.lastCommitted {
+		return
+	}
+	for seq := n.lastCommitted + 1; seq <= c; seq++ {
+		n.deliverSeq(seq)
+	}
+	// The committed entry count comes from the watermark batch's signed
+	// header: HistSize is cumulative, so the counter stays exact even when
+	// a checkpoint install (sync) or an aggressive prune removed the
+	// individual batches a commit jump covered.
+	if b := n.rep.Ledger().BatchAt(c); b != nil {
+		n.committedEntries.Store(b.Header.HistSize)
+	}
+	n.lastCommitted = c
+	n.lastProgressTick = n.ticks
+	n.committedSeqs.Store(c)
+}
+
+func (n *Node) deliverSeq(seq uint64) {
+	b := n.rep.Ledger().BatchAt(seq)
+	if b != nil {
+		// Suppress client retries of transactions this batch committed —
+		// including batches proposed by another primary. (Governance
+		// entries drop the request number on the ledger, so their
+		// duplicate suppression rests on the pool's drain memo alone.)
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if e.Kind != ledger.KindTransaction {
+				continue
+			}
+			rq := ledger.Request{Author: e.Author, ReqNo: e.ReqNo, Body: e.Payload}
+			n.pool.Observe(txpool.Hash(&rq))
+		}
+	}
+	pb, ok := n.pending[seq]
+	if !ok {
+		return
+	}
+	delete(n.pending, seq)
+	// A view change may have replaced the speculative batch this material
+	// was minted for. When the committed batch is retained, compare headers
+	// directly. When a commit jump already pruned it, fall back to the view:
+	// within one view the primary signs exactly one pre-prepare per
+	// sequence, so if the view never changed since Propose, the batch that
+	// committed at seq can only be the one these receipts embed.
+	if b != nil {
+		if b.Header.SigningDigest() != pb.headerDigest {
+			return
+		}
+	} else if n.rep.View() != pb.view {
+		return
+	}
+	for _, sub := range pb.subs {
+		ws := n.waiters[sub.hash]
+		if len(ws) == 0 {
+			continue
+		}
+		delete(n.waiters, sub.hash)
+		var rc *ledger.Receipt
+		if sub.rcIdx >= 0 && sub.rcIdx < len(pb.rcs) {
+			rc = &pb.rcs[sub.rcIdx]
+		}
+		for _, w := range ws {
+			w.resp <- SubmitResult{Status: StatusCommitted, Receipt: rc}
+		}
+	}
+}
+
+func (n *Node) expireWaiters() {
+	for h, ws := range n.waiters {
+		keep := ws[:0]
+		for _, w := range ws {
+			if n.ticks >= w.deadline {
+				w.resp <- SubmitResult{Status: StatusTimeout}
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(n.waiters, h)
+		} else {
+			n.waiters[h] = keep
+		}
+	}
+}
+
+func (n *Node) onSubmit(s submission) {
+	if !n.rep.IsPrimary() {
+		nPeers := uint64(len(n.cfg.Consensus.Peers))
+		s.resp <- SubmitResult{
+			Status: StatusNotPrimary,
+			Leader: transport.NodeID(n.rep.View() % nPeers),
+		}
+		return
+	}
+	h := txpool.Hash(&s.rq)
+	err := n.pool.Add(s.rq)
+	switch {
+	case err == nil:
+		// Pooled: wait for commit.
+	case err == txpool.ErrTooLarge:
+		s.resp <- SubmitResult{Status: StatusTooLarge}
+		return
+	case err == txpool.ErrFull:
+		s.resp <- SubmitResult{Status: StatusBusy}
+		return
+	case err == txpool.ErrDuplicate:
+		if len(n.waiters[h]) == 0 {
+			// Already drained with no one waiting: the commit (if any)
+			// has passed; tell the client it is a duplicate.
+			s.resp <- SubmitResult{Status: StatusDuplicate}
+			return
+		}
+		// In flight: join the existing waiters.
+	default:
+		s.resp <- SubmitResult{Status: StatusBusy}
+		return
+	}
+	n.waiters[h] = append(n.waiters[h], waiter{
+		resp:     s.resp,
+		deadline: n.ticks + uint64(n.cfg.SubmitPatienceTicks),
+	})
+}

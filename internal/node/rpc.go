@@ -1,0 +1,257 @@
+package node
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"iaccf/internal/ledger"
+	"iaccf/internal/transport"
+)
+
+// Client submission RPC wire format. A connection carries a sequence of
+// request/response exchanges, length-framed like the replica transport
+// but with its own magic (clients are not cluster members and never enter
+// the replica handshake):
+//
+//	hello:    magic (4, big-endian, ClientMagic) | version (4, VCurrent)
+//	request:  length (4) | ledger.EncodeRequest body
+//	response: length (4) | status (1) | payload
+//
+// Response payloads by status: StatusCommitted carries the encoded
+// receipt; StatusNotPrimary carries the leader's node ID (4, big-endian);
+// everything else is empty. Request bodies are capped just above
+// ledger.MaxRequestLen — the ingress cap is enforced again by decode and
+// by the pool, but the frame bound stops an oversized body before it is
+// even read.
+const (
+	// ClientMagic opens every client RPC connection ("iacC").
+	ClientMagic = 0x69616343
+	// maxRPCFrame bounds client request frames: the body cap plus the
+	// request envelope (flag, author, reqno, length prefixes).
+	maxRPCFrame = ledger.MaxRequestLen + 128
+)
+
+// RPCServer serves the client submission RPC for one node.
+type RPCServer struct {
+	node *Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeRPC starts a submission RPC listener on addr for the node.
+func ServeRPC(n *Node, addr string) (*RPCServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: rpc listen %s: %w", addr, err)
+	}
+	s := &RPCServer{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound RPC address.
+func (s *RPCServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and all client connections.
+func (s *RPCServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *RPCServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *RPCServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 1<<16)
+	var hello [8]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if binary.BigEndian.Uint32(hello[0:4]) != ClientMagic ||
+		binary.BigEndian.Uint32(hello[4:8]) != transport.VCurrent {
+		return
+	}
+	bw := bufio.NewWriterSize(c, 1<<16)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		nb := binary.BigEndian.Uint32(lenBuf[:])
+		if nb > maxRPCFrame {
+			// Don't even read the body; answer and hang up.
+			writeRPCResponse(bw, SubmitResult{Status: StatusTooLarge})
+			bw.Flush()
+			return
+		}
+		body := make([]byte, nb)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		res := s.submit(body)
+		if err := writeRPCResponse(bw, res); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *RPCServer) submit(body []byte) SubmitResult {
+	rq, err := ledger.DecodeRequest(body)
+	if err != nil {
+		// Malformed or over-cap request body.
+		return SubmitResult{Status: StatusTooLarge}
+	}
+	return s.node.Submit(rq)
+}
+
+func writeRPCResponse(w *bufio.Writer, res SubmitResult) error {
+	payload := []byte{byte(res.Status)}
+	switch res.Status {
+	case StatusCommitted:
+		if res.Receipt != nil {
+			payload = ledger.EncodeReceipt(payload, res.Receipt)
+		}
+	case StatusNotPrimary:
+		var leader [4]byte
+		binary.BigEndian.PutUint32(leader[:], uint32(res.Leader))
+		payload = append(payload, leader[:]...)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// RPCClient is a client-side connection to one node's submission RPC.
+type RPCClient struct {
+	mu sync.Mutex
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// DialRPC connects to a node's submission RPC.
+func DialRPC(addr string, timeout time.Duration) (*RPCClient, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var hello [8]byte
+	binary.BigEndian.PutUint32(hello[0:4], ClientMagic)
+	binary.BigEndian.PutUint32(hello[4:8], transport.VCurrent)
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &RPCClient{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}, nil
+}
+
+// Close shuts the connection.
+func (cl *RPCClient) Close() error { return cl.c.Close() }
+
+// Submit sends one request and blocks for its verdict. One in-flight
+// exchange per client; use several clients for pipelining. A zero
+// timeout means no deadline.
+func (cl *RPCClient) Submit(rq *ledger.Request, timeout time.Duration) (SubmitResult, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if timeout > 0 {
+		cl.c.SetDeadline(time.Now().Add(timeout))
+	} else {
+		cl.c.SetDeadline(time.Time{})
+	}
+	body := ledger.EncodeRequest(nil, rq)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := cl.bw.Write(lenBuf[:]); err != nil {
+		return SubmitResult{}, err
+	}
+	if _, err := cl.bw.Write(body); err != nil {
+		return SubmitResult{}, err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return SubmitResult{}, err
+	}
+	if _, err := io.ReadFull(cl.br, lenBuf[:]); err != nil {
+		return SubmitResult{}, err
+	}
+	nb := binary.BigEndian.Uint32(lenBuf[:])
+	if nb < 1 || nb > maxRPCFrame {
+		return SubmitResult{}, fmt.Errorf("node: bad rpc response length %d", nb)
+	}
+	payload := make([]byte, nb)
+	if _, err := io.ReadFull(cl.br, payload); err != nil {
+		return SubmitResult{}, err
+	}
+	res := SubmitResult{Status: Status(payload[0])}
+	switch res.Status {
+	case StatusCommitted:
+		if len(payload) > 1 {
+			rc, err := ledger.DecodeReceipt(payload[1:])
+			if err != nil {
+				return SubmitResult{}, fmt.Errorf("node: bad receipt in response: %w", err)
+			}
+			res.Receipt = rc
+		}
+	case StatusNotPrimary:
+		if len(payload) >= 5 {
+			res.Leader = transport.NodeID(binary.BigEndian.Uint32(payload[1:5]))
+		}
+	}
+	return res, nil
+}

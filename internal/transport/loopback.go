@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// TamperPolicy parameterizes the loopback hub's adversarial schedule.
+// Zero values mean in-order, lossless delivery.
+type TamperPolicy struct {
+	// DropRate is the probability a frame is silently discarded.
+	DropRate float64
+	// DupRate is the probability a delivered frame is re-queued once.
+	DupRate float64
+	// ReorderWindow lets Step pick any of the first W queued frames
+	// instead of the head (0 or 1 means strict FIFO).
+	ReorderWindow int
+}
+
+// Hub is an in-process transport double: endpoints implement Transport,
+// frames land in one central queue, and the test drives delivery one
+// Step at a time under a seeded adversarial schedule. Determinism
+// contract: a single-threaded driver with the same seed, policy, and
+// send sequence sees the same delivery sequence — which is what lets a
+// failing adversarial run be replayed by seed, like the sim matrix.
+type Hub struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	policy TamperPolicy
+	eps    map[NodeID]*loopEndpoint
+	queue  []loopFrame
+	sent   uint64
+	lost   uint64
+}
+
+type loopFrame struct {
+	from, to NodeID
+	body     []byte
+}
+
+// NewHub builds a hub with a seeded schedule.
+func NewHub(seed int64, policy TamperPolicy) *Hub {
+	return &Hub{
+		rng:    rand.New(rand.NewSource(seed)),
+		policy: policy,
+		eps:    make(map[NodeID]*loopEndpoint),
+	}
+}
+
+// loopEndpoint is one node's view of the hub.
+type loopEndpoint struct {
+	hub     *Hub
+	id      NodeID
+	handler Handler
+	closed  bool
+}
+
+// Endpoint registers a node on the hub and returns its Transport. The
+// handler runs inside Step, on the driving goroutine.
+func (h *Hub) Endpoint(id NodeID, handler Handler) Transport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep := &loopEndpoint{hub: h, id: id, handler: handler}
+	h.eps[id] = ep
+	return ep
+}
+
+// Pending reports undelivered frames.
+func (h *Hub) Pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.queue)
+}
+
+// Lost reports frames discarded by the drop schedule.
+func (h *Hub) Lost() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lost
+}
+
+// enqueue copies the body: the Transport contract gives the transport
+// ownership of sent frames, and the Handler contract says delivered
+// buffers are transport-owned, so the hub must hold its own copy either
+// way.
+func (h *Hub) enqueue(from, to NodeID, body []byte) {
+	h.queue = append(h.queue, loopFrame{from: from, to: to, body: append([]byte(nil), body...)})
+	h.sent++
+}
+
+// Step delivers (or adversarially drops/duplicates) one queued frame and
+// reports whether any work remains. The reorder window, drop, and dup
+// draws all come from the seeded rng, in a fixed order per step.
+func (h *Hub) Step() bool {
+	h.mu.Lock()
+	if len(h.queue) == 0 {
+		h.mu.Unlock()
+		return false
+	}
+	w := h.policy.ReorderWindow
+	if w < 1 {
+		w = 1
+	}
+	if w > len(h.queue) {
+		w = len(h.queue)
+	}
+	i := 0
+	if w > 1 {
+		i = h.rng.Intn(w)
+	}
+	f := h.queue[i]
+	h.queue = append(h.queue[:i], h.queue[i+1:]...)
+	if h.policy.DropRate > 0 && h.rng.Float64() < h.policy.DropRate {
+		h.lost++
+		n := len(h.queue)
+		h.mu.Unlock()
+		return n > 0
+	}
+	if h.policy.DupRate > 0 && h.rng.Float64() < h.policy.DupRate {
+		h.queue = append(h.queue, loopFrame{from: f.from, to: f.to, body: append([]byte(nil), f.body...)})
+	}
+	ep := h.eps[f.to]
+	h.mu.Unlock()
+	if ep != nil && ep.handler != nil {
+		ep.handler(f.from, f.body)
+	}
+	h.mu.Lock()
+	n := len(h.queue)
+	h.mu.Unlock()
+	return n > 0
+}
+
+func (ep *loopEndpoint) Send(to NodeID, frame []byte) error {
+	h := ep.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ep.closed {
+		return ErrClosed
+	}
+	if to == ep.id {
+		return nil
+	}
+	if _, ok := h.eps[to]; !ok {
+		return nil // dead peer: best-effort, like a down TCP lane
+	}
+	h.enqueue(ep.id, to, frame)
+	return nil
+}
+
+func (ep *loopEndpoint) Broadcast(frame []byte) error {
+	h := ep.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ep.closed {
+		return ErrClosed
+	}
+	// Enqueue in ascending peer order: map iteration order would leak
+	// scheduler nondeterminism into the seeded delivery sequence.
+	ids := make([]NodeID, 0, len(h.eps))
+	for id := range h.eps {
+		if id != ep.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h.enqueue(ep.id, id, frame)
+	}
+	return nil
+}
+
+func (ep *loopEndpoint) Close() error {
+	h := ep.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep.closed = true
+	delete(h.eps, ep.id)
+	return nil
+}
